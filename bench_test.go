@@ -1,0 +1,313 @@
+package loam_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"loam"
+	"loam/internal/experiments"
+	"loam/internal/plan"
+	"loam/internal/predictor"
+	"loam/internal/simrand"
+	"loam/internal/theory"
+	"loam/internal/xgb"
+)
+
+// The per-figure benchmarks run the experiment suite at tiny scale so
+// `go test -bench=.` terminates quickly; `cmd/loam-bench` runs the same
+// experiments at default or paper scale. The environment (projects, 30-day
+// histories, trained models, candidate measurements) is shared and cached
+// across benchmarks, so each benchmark times its experiment's own work.
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchF6      *experiments.Fig6Result
+)
+
+func getBenchEnv(b *testing.B) (*experiments.Env, *experiments.Fig6Result) {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		cfg := experiments.Tiny()
+		benchEnv = experiments.NewEnv(cfg)
+		f6, err := benchEnv.Fig6()
+		if err != nil {
+			b.Fatalf("fig6: %v", err)
+		}
+		benchF6 = f6
+	})
+	if benchEnv == nil {
+		b.Skip("environment failed to build")
+	}
+	return benchEnv, benchF6
+}
+
+func render(b *testing.B, r interface{ Render(io.Writer) }) {
+	b.Helper()
+	if b.N == 1 {
+		b.Log("rendering suppressed; run cmd/loam-bench for full output")
+	}
+}
+
+func BenchmarkFig1CostVariance(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := env.Fig1()
+		render(b, r)
+	}
+}
+
+func BenchmarkTable1ProjectStats(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Table1())
+	}
+}
+
+func BenchmarkFig5LoadResponse(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Fig5())
+	}
+}
+
+func BenchmarkFig6EndToEnd(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		render(b, r)
+	}
+}
+
+func BenchmarkFig7PerQuery(b *testing.B) {
+	env, f6 := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Fig7(f6))
+	}
+}
+
+func BenchmarkFig8TrainingSize(b *testing.B) {
+	env, f6 := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Fig8(f6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		render(b, r)
+	}
+}
+
+func BenchmarkFig9Overheads(b *testing.B) {
+	env, f6 := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Fig9(f6))
+	}
+}
+
+func BenchmarkFig10InferenceStrategies(b *testing.B) {
+	env, f6 := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Fig10(f6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		render(b, r)
+	}
+}
+
+func BenchmarkFig11AdaptiveAblation(b *testing.B) {
+	env, f6 := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Fig11(f6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		render(b, r)
+	}
+}
+
+func BenchmarkFig12RankerQuality(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Fig12())
+	}
+}
+
+func BenchmarkFig15LogNormalFit(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Fig15())
+	}
+}
+
+func BenchmarkFig16RankerTrainingSize(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Fig16())
+	}
+}
+
+func BenchmarkSec73FleetBenefit(b *testing.B) {
+	env, f6 := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Sec73(f6))
+	}
+}
+
+func BenchmarkThm1Verification(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Thm1())
+	}
+}
+
+// --- Micro-benchmarks of the core building blocks ---
+
+func microProject(b *testing.B) (*loam.ProjectSim, *loam.Simulation) {
+	b.Helper()
+	sim := loam.NewSimulation(99, loam.DefaultSimulationConfig())
+	cfg := loam.DefaultProjectConfig("micro")
+	cfg.Archetype.NumTables = 20
+	cfg.Workload.NumTemplates = 8
+	return sim.AddProject(cfg), sim
+}
+
+func BenchmarkNativeOptimize(b *testing.B) {
+	ps, _ := microProject(b)
+	q := ps.Gen.Templates[0].Instantiate(ps.Rng("bench"), 1)
+	ex := ps.Explorer(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ex.DefaultPlan(q)
+	}
+}
+
+func BenchmarkExplorerCandidates(b *testing.B) {
+	ps, _ := microProject(b)
+	q := ps.Gen.Templates[0].Instantiate(ps.Rng("bench"), 1)
+	ex := ps.Explorer(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ex.Candidates(q)
+	}
+}
+
+func BenchmarkExecutorExecute(b *testing.B) {
+	ps, _ := microProject(b)
+	q := ps.Gen.Templates[0].Instantiate(ps.Rng("bench"), 1)
+	p := ps.Explorer(1).DefaultPlan(q)
+	opt := ps.ExecOptions(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ps.Executor.Execute(p, 1, opt)
+	}
+}
+
+func BenchmarkPredictorTrainTCN(b *testing.B) {
+	ps, _ := microProject(b)
+	ps.RunDays(0, 3)
+	dcfg := loam.DefaultDeployConfig()
+	dcfg.TrainDays = 3
+	dcfg.TestDays = 0
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ps.Deploy(dcfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictorInference(b *testing.B) {
+	ps, _ := microProject(b)
+	ps.RunDays(0, 3)
+	dcfg := loam.DefaultDeployConfig()
+	dcfg.TrainDays = 3
+	dcfg.TestDays = 0
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 8
+	dep, err := ps.Deploy(dcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ps.Gen.Templates[0].Instantiate(ps.Rng("bench"), 3)
+	cands := ps.Explorer(3).Candidates(q)
+	envs := dep.Predictor.EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = dep.Predictor.SelectPlan(cands, envs)
+	}
+}
+
+func BenchmarkXGBTrain(b *testing.B) {
+	rng := simrand.New(5)
+	x := make([][]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = x[i][0]*2 - x[i][2]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = xgb.Train(xgb.DefaultConfig(), x, y)
+	}
+}
+
+func BenchmarkTheoryExpectedDeviance(b *testing.B) {
+	dists := []theory.LogNormal{
+		{Mu: 2, Sigma: 0.4}, {Mu: 2.2, Sigma: 0.3},
+		{Mu: 1.9, Sigma: 0.6}, {Mu: 2.4, Sigma: 0.2}, {Mu: 2.1, Sigma: 0.5},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = theory.ExpectedDeviance(dists, 0)
+	}
+}
+
+func BenchmarkPlanFingerprint(b *testing.B) {
+	ps, _ := microProject(b)
+	q := ps.Gen.Templates[0].Instantiate(ps.Rng("bench"), 1)
+	p := ps.Explorer(1).DefaultPlan(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Root.Fingerprint()
+	}
+}
+
+var sinkPlan *plan.Plan
+
+func BenchmarkPlanClone(b *testing.B) {
+	ps, _ := microProject(b)
+	q := ps.Gen.Templates[0].Instantiate(ps.Rng("bench"), 1)
+	p := ps.Explorer(1).DefaultPlan(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPlan = p.Clone()
+	}
+}
+
+func BenchmarkExt1ExplorationCeiling(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render(b, env.Ext1())
+	}
+}

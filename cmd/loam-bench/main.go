@@ -1,0 +1,182 @@
+// Command loam-bench regenerates the paper's tables and figures from the
+// simulated MaxCompute deployment.
+//
+// Usage:
+//
+//	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3]
+//	           [-seed N] [-scale F] [-epochs N] [-eval N] [-tiny] [-quiet]
+//
+// Each experiment prints the same rows/series the paper reports; absolute
+// numbers come from the simulator, shapes are the reproduction target (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"loam/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loam-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("loam-bench", flag.ContinueOnError)
+	var (
+		runSpec = fs.String("run", "all", "comma-separated experiment ids (all, fig1, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig15, fig16, sec73, thm1, ext1, ext2, ext3)")
+		seed    = fs.Uint64("seed", 42, "root seed for the whole simulation")
+		scale   = fs.Float64("scale", 1, "workload scale multiplier (5 ≈ paper scale)")
+		epochs  = fs.Int("epochs", 0, "override training epochs (0 = default)")
+		evalQ   = fs.Int("eval", 0, "override test queries per project (0 = default)")
+		tiny    = fs.Bool("tiny", false, "tiny configuration for smoke runs")
+		quiet   = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	fs.SetOutput(errw)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Default()
+	if *tiny {
+		cfg = experiments.Tiny()
+	}
+	cfg.Seed = *seed
+	if *scale > 0 {
+		cfg.WorkloadScale *= *scale
+	}
+	if *epochs > 0 {
+		cfg.Epochs = *epochs
+	}
+	if *evalQ > 0 {
+		cfg.EvalQueries = *evalQ
+	}
+	if !*quiet {
+		cfg.Log = errw
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runSpec, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	has := func(id string) bool { return all || want[id] }
+
+	start := time.Now()
+	env := experiments.NewEnv(cfg)
+
+	section := func(id string) {
+		fmt.Fprintf(out, "\n==== %s ====\n", id)
+	}
+
+	if has("fig1") {
+		section("fig1")
+		env.Fig1().Render(out)
+	}
+	if has("table1") {
+		section("table1")
+		env.Table1().Render(out)
+	}
+	if has("fig5") {
+		section("fig5")
+		env.Fig5().Render(out)
+	}
+	if has("fig15") {
+		section("fig15")
+		env.Fig15().Render(out)
+	}
+
+	needF6 := has("fig6") || has("fig7") || has("fig8") || has("fig9") ||
+		has("fig10") || has("fig11") || has("sec73")
+	var f6 *experiments.Fig6Result
+	if needF6 {
+		var err error
+		f6, err = env.Fig6()
+		if err != nil {
+			return err
+		}
+	}
+	if has("fig6") {
+		section("fig6")
+		f6.Render(out)
+	}
+	if has("fig7") {
+		section("fig7")
+		env.Fig7(f6).Render(out)
+	}
+	if has("fig9") {
+		section("fig9")
+		env.Fig9(f6).Render(out)
+	}
+	if has("fig11") {
+		section("fig11")
+		r, err := env.Fig11(f6)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	}
+	if has("fig10") {
+		section("fig10")
+		r, err := env.Fig10(f6)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	}
+	if has("fig8") {
+		section("fig8")
+		r, err := env.Fig8(f6)
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	}
+	if has("thm1") {
+		section("thm1")
+		env.Thm1().Render(out)
+	}
+	if has("ext1") {
+		section("ext1")
+		env.Ext1().Render(out)
+	}
+	if has("ext2") {
+		section("ext2")
+		r, err := env.Ext2()
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	}
+	if has("ext3") {
+		section("ext3")
+		r, err := env.Ext3()
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	}
+	if has("fig12") {
+		section("fig12")
+		env.Fig12().Render(out)
+	}
+	if has("fig16") {
+		section("fig16")
+		env.Fig16().Render(out)
+	}
+	if has("sec73") {
+		section("sec73")
+		env.Sec73(f6).Render(out)
+	}
+
+	fmt.Fprintf(out, "\ntotal: %.1fs\n", time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-tiny", "-quiet", "-run", "fig1,table1"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"==== fig1 ====", "Figure 1", "==== table1 ====", "Table 1", "total:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "Figure 6") {
+		t.Fatal("unrequested experiment ran")
+	}
+}
+
+func TestRunThm1AndFig15(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tiny", "-quiet", "-run", "thm1,fig15"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Theorem 1") || !strings.Contains(out.String(), "Q-Q") {
+		t.Fatalf("output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, &errw); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tiny", "-quiet", "-run", "nosuch"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "====") {
+		t.Fatal("unknown experiment produced sections")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInspectAllSections(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tables", "10"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"== catalog", "== statistics view vs ground truth",
+		"== workload templates", "== query", "stage decomposition",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestInspectSingleSection(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tables", "8", "-section", "stats"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ground truth") {
+		t.Fatal("stats section missing")
+	}
+	if strings.Contains(s, "== catalog") {
+		t.Fatal("unrequested section present")
+	}
+}
+
+func TestInspectBadTemplate(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-section", "query", "-template", "99"}, &out, &errw); err == nil {
+		t.Fatal("out-of-range template accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run([]string{"-days", "6", "-templates", "5", "-qpd", "3", "-steer", "3"}, &out, &errw)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"project \"demo\"", "history:", "deployed LOAM", "steered 3 queries"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-nope"}, &out, &errw); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

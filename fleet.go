@@ -1,0 +1,87 @@
+package loam
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FleetResult is one project's outcome from DeployAll.
+type FleetResult struct {
+	Project    string
+	Deployment *Deployment
+	Err        error
+}
+
+// DeployAll trains a deployment for every attached project, running up to
+// parallelism trainings concurrently (≤1 means sequential). Training reads
+// only per-project state (history, statistics views) and never executes
+// plans, so projects train independently; the shared cluster is untouched.
+//
+// Results are returned in project order. A project whose training fails
+// (e.g. no history) carries its error; others are unaffected.
+func (s *Simulation) DeployAll(cfg DeployConfig, parallelism int) []FleetResult {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	results := make([]FleetResult, len(s.Projects))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ps := s.Projects[i]
+				dep, err := ps.Deploy(cfg)
+				if err != nil {
+					err = fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
+				}
+				results[i] = FleetResult{Project: ps.Config.Name, Deployment: dep, Err: err}
+			}
+		}()
+	}
+	for i := range s.Projects {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// SelectAndDeploy runs the full §6 pipeline over the simulation's projects:
+// compute the App.-D.1 filter metrics from each history, filter, score the
+// survivors with the given ranker scores, and train deployments for the
+// top-N. Projects without enough history are reported, not fatal.
+//
+// scores maps project name → estimated improvement space (e.g. from a
+// trained selector.Ranker); projects absent from scores rank last.
+func (s *Simulation) SelectAndDeploy(cfg DeployConfig, pass func(*ProjectSim) bool, scores map[string]float64, topN int, parallelism int) []FleetResult {
+	type scored struct {
+		ps    *ProjectSim
+		score float64
+	}
+	var survivors []scored
+	for _, ps := range s.Projects {
+		if pass != nil && !pass(ps) {
+			continue
+		}
+		survivors = append(survivors, scored{ps: ps, score: scores[ps.Config.Name]})
+	}
+	sort.Slice(survivors, func(i, j int) bool {
+		if survivors[i].score != survivors[j].score {
+			return survivors[i].score > survivors[j].score
+		}
+		return survivors[i].ps.Config.Name < survivors[j].ps.Config.Name
+	})
+	if topN > 0 && len(survivors) > topN {
+		survivors = survivors[:topN]
+	}
+
+	sub := &Simulation{Cluster: s.Cluster, rng: s.rng}
+	for _, sv := range survivors {
+		sub.Projects = append(sub.Projects, sv.ps)
+	}
+	return sub.DeployAll(cfg, parallelism)
+}

@@ -1,0 +1,94 @@
+package loam
+
+import (
+	"testing"
+
+	"loam/internal/selector"
+)
+
+func fleetSim(t *testing.T) *Simulation {
+	t.Helper()
+	sim := NewSimulation(51, DefaultSimulationConfig())
+	for i, name := range []string{"fa", "fb", "fc"} {
+		cfg := DefaultProjectConfig(name)
+		cfg.Archetype.NumTables = 8 + i
+		cfg.Workload.NumTemplates = 4
+		cfg.Workload.QueriesPerDayMean = 4
+		ps := sim.AddProject(cfg)
+		ps.RunDays(0, 5)
+	}
+	// One project with no history at all.
+	cfg := DefaultProjectConfig("empty")
+	sim.AddProject(cfg)
+	return sim
+}
+
+func fleetDeployConfig() DeployConfig {
+	dcfg := DefaultDeployConfig()
+	dcfg.TrainDays = 4
+	dcfg.TestDays = 1
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 4
+	return dcfg
+}
+
+func TestDeployAllParallelMatchesSequential(t *testing.T) {
+	for _, parallelism := range []int{1, 3} {
+		sim := fleetSim(t)
+		results := sim.DeployAll(fleetDeployConfig(), parallelism)
+		if len(results) != 4 {
+			t.Fatalf("results %d", len(results))
+		}
+		for i, r := range results {
+			if r.Project != sim.Projects[i].Config.Name {
+				t.Fatal("result order broken")
+			}
+			if r.Project == "empty" {
+				if r.Err == nil {
+					t.Fatal("empty project should fail")
+				}
+				continue
+			}
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.Project, r.Err)
+			}
+			if r.Deployment == nil || r.Deployment.TrainSize == 0 {
+				t.Fatalf("%s: empty deployment", r.Project)
+			}
+		}
+	}
+}
+
+func TestSelectAndDeployTopN(t *testing.T) {
+	sim := fleetSim(t)
+	pass := func(ps *ProjectSim) bool { return ps.Repo.Len() > 0 }
+	scores := map[string]float64{"fa": 0.1, "fb": 0.9, "fc": 0.5}
+	results := sim.SelectAndDeploy(fleetDeployConfig(), pass, scores, 2, 2)
+	if len(results) != 2 {
+		t.Fatalf("deployed %d", len(results))
+	}
+	if results[0].Project != "fb" || results[1].Project != "fc" {
+		t.Fatalf("wrong top-2: %v %v", results[0].Project, results[1].Project)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Project, r.Err)
+		}
+	}
+}
+
+func TestSelectAndDeployFilterExcludes(t *testing.T) {
+	sim := fleetSim(t)
+	// A real App.-D.1 filter over the histories.
+	fcfg := selector.ScaledFilterConfig(1)
+	pass := func(ps *ProjectSim) bool {
+		ok, _ := fcfg.Pass(selector.ComputeStats(ps.Repo.All(), ps.Project, 30))
+		return ok
+	}
+	results := sim.SelectAndDeploy(fleetDeployConfig(), pass, nil, 0, 1)
+	for _, r := range results {
+		if r.Project == "empty" {
+			t.Fatal("filter failed to exclude the empty project")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module loam
+
+go 1.22

@@ -1,0 +1,225 @@
+// Package cardinality propagates row counts through a physical plan.
+//
+// The same propagation rules run against two different inputs: the
+// warehouse's hidden ground truth (producing the *true* cardinalities the
+// execution simulator charges for) and the stats package's degraded view
+// (producing the *estimated* cardinalities the native optimizer plans with).
+// Challenge C2 of the paper is precisely the gap between the two.
+package cardinality
+
+import (
+	"math"
+
+	"loam/internal/expr"
+	"loam/internal/plan"
+	"loam/internal/stats"
+	"loam/internal/warehouse"
+)
+
+// Source supplies the inputs the propagation rules need.
+type Source struct {
+	// Rows returns the row count of a base table.
+	Rows func(tableID string) float64
+	// Partitions returns the number of partitions of a base table.
+	Partitions func(tableID string) int
+	// Dist supplies predicate selectivities.
+	Dist expr.DistProvider
+	// NDV returns the distinct-value count of a column.
+	NDV func(col expr.ColumnRef) float64
+}
+
+// TruthSource builds a Source over the warehouse ground truth as of a day.
+func TruthSource(p *warehouse.Project, day int) Source {
+	return Source{
+		Rows: func(tableID string) float64 {
+			if t := p.Table(tableID); t != nil {
+				return float64(t.RowsAt(day))
+			}
+			return 1
+		},
+		Partitions: func(tableID string) int {
+			if t := p.Table(tableID); t != nil && t.Partitions > 0 {
+				return t.Partitions
+			}
+			return 1
+		},
+		Dist: &warehouse.Truth{Project: p},
+		NDV: func(col expr.ColumnRef) float64 {
+			if t := p.Table(col.Table); t != nil {
+				if c := t.Column(col.Column); c != nil {
+					return float64(c.NDV)
+				}
+			}
+			return 100
+		},
+	}
+}
+
+// ViewSource builds a Source over an optimizer statistics view.
+func ViewSource(v *stats.View) Source {
+	return Source{
+		Rows:       func(tableID string) float64 { return float64(v.RowEstimate(tableID)) },
+		Partitions: func(tableID string) int { return v.PartitionEstimate(tableID) },
+		Dist:       v,
+		NDV:        func(col expr.ColumnRef) float64 { return float64(v.NDVEstimate(col)) },
+	}
+}
+
+// Estimator computes per-node output cardinalities.
+type Estimator struct {
+	Src Source
+	// CardScale multiplies the estimate of every sub-plan spanning at least
+	// three base tables — the Lero-style exploration knob (§3, Plan
+	// Explorer). 0 or 1 means no scaling.
+	CardScale float64
+}
+
+// Result holds per-node output cardinalities for one plan.
+type Result struct {
+	rows   map[*plan.Node]float64
+	tables map[*plan.Node]int
+}
+
+// Rows returns the output cardinality of a node (0 for unknown nodes).
+func (r *Result) Rows(n *plan.Node) float64 { return r.rows[n] }
+
+// BaseTables returns how many distinct base tables feed a node.
+func (r *Result) BaseTables(n *plan.Node) int { return r.tables[n] }
+
+// Estimate computes output cardinalities for every node under root.
+func (e *Estimator) Estimate(root *plan.Node) *Result {
+	res := &Result{
+		rows:   make(map[*plan.Node]float64, root.Size()),
+		tables: make(map[*plan.Node]int, root.Size()),
+	}
+	e.walk(root, res)
+	return res
+}
+
+func (e *Estimator) walk(n *plan.Node, res *Result) (rows float64, tables int) {
+	if n == nil {
+		return 0, 0
+	}
+	childRows := make([]float64, len(n.Children))
+	for i, c := range n.Children {
+		r, t := e.walk(c, res)
+		childRows[i] = r
+		tables += t
+	}
+	rows = e.output(n, childRows)
+	if n.Op == plan.OpTableScan {
+		tables = 1
+	}
+	if e.CardScale > 0 && e.CardScale != 1 && tables >= 3 {
+		rows *= e.CardScale
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	res.rows[n] = rows
+	res.tables[n] = tables
+	return rows, tables
+}
+
+func (e *Estimator) output(n *plan.Node, in []float64) float64 {
+	first := func() float64 {
+		if len(in) > 0 {
+			return in[0]
+		}
+		return 1
+	}
+	switch {
+	case n.Op == plan.OpTableScan:
+		rows := e.Src.Rows(n.Table)
+		parts := e.Src.Partitions(n.Table)
+		if parts > 0 && n.PartitionsRead > 0 && n.PartitionsRead < parts {
+			rows *= float64(n.PartitionsRead) / float64(parts)
+		}
+		return rows
+	case n.Op.IsFilterLike():
+		return first() * expr.Selectivity(n.Pred, e.Src.Dist)
+	case n.Op.IsJoin():
+		return e.joinOutput(n, in)
+	case n.Op.IsAggregate():
+		return e.aggOutput(n, first())
+	case n.Op == plan.OpUnion:
+		total := 0.0
+		for _, r := range in {
+			total += r
+		}
+		return total
+	case n.Op == plan.OpLimit || n.Op == plan.OpTopN:
+		return math.Min(first(), 10_000)
+	case n.Op == plan.OpSample:
+		return first() * 0.01
+	case n.Op == plan.OpValues:
+		return 1
+	case n.Op == plan.OpExpand:
+		return first() * 2
+	default:
+		// Exchange, Sort, Spool, Project, Window, Select, Sink... preserve
+		// cardinality.
+		return first()
+	}
+}
+
+func (e *Estimator) joinOutput(n *plan.Node, in []float64) float64 {
+	left, right := 1.0, 1.0
+	if len(in) > 0 {
+		left = in[0]
+	}
+	if len(in) > 1 {
+		right = in[1]
+	}
+	// Containment assumption: each equi-join pair contributes
+	// 1/max(ndvL, ndvR).
+	sel := 1.0
+	for i := range n.LeftCols {
+		ndvL := e.Src.NDV(n.LeftCols[i])
+		ndvR := ndvL
+		if i < len(n.RightCols) {
+			ndvR = e.Src.NDV(n.RightCols[i])
+		}
+		m := math.Max(ndvL, ndvR)
+		if m < 1 {
+			m = 1
+		}
+		sel /= m
+	}
+	if len(n.LeftCols) == 0 {
+		sel = 1 // cross join
+	}
+	out := left * right * sel
+	switch n.JoinForm {
+	case plan.JoinSemi:
+		return math.Min(left, out)
+	case plan.JoinAnti:
+		v := left - math.Min(left, out)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	case plan.JoinLeft:
+		return math.Max(out, left)
+	case plan.JoinRight:
+		return math.Max(out, right)
+	case plan.JoinFull:
+		return math.Max(out, left+right)
+	default:
+		return out
+	}
+}
+
+func (e *Estimator) aggOutput(n *plan.Node, in float64) float64 {
+	if len(n.GroupCols) == 0 {
+		if n.Op == plan.OpDistinct {
+			return math.Min(in, math.Sqrt(in)+1)
+		}
+		return 1 // scalar aggregate
+	}
+	groups := 1.0
+	for _, c := range n.GroupCols {
+		groups *= e.Src.NDV(c)
+	}
+	return math.Min(in, groups)
+}

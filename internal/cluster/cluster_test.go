@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"loam/internal/simrand"
+)
+
+func newCluster(seed uint64) *Cluster {
+	cfg := DefaultConfig()
+	cfg.Machines = 32
+	return New(simrand.New(seed), cfg)
+}
+
+func TestMetricsBounds(t *testing.T) {
+	c := newCluster(1)
+	for step := 0; step < 50; step++ {
+		c.Advance(SampleInterval)
+		for i := 0; i < c.Size(); i++ {
+			m := c.MachineMetrics(i)
+			if m.CPUIdle < 0 || m.CPUIdle > 1 {
+				t.Fatalf("CPUIdle %g", m.CPUIdle)
+			}
+			if m.IOWait < 0 || m.IOWait > 1 {
+				t.Fatalf("IOWait %g", m.IOWait)
+			}
+			if m.MemUsage < 0 || m.MemUsage > 1 {
+				t.Fatalf("MemUsage %g", m.MemUsage)
+			}
+			if m.Load5 < 0 {
+				t.Fatalf("Load5 %g", m.Load5)
+			}
+		}
+	}
+}
+
+func TestNormalizedFeatures(t *testing.T) {
+	m := Metrics{CPUIdle: 0.5, IOWait: 0.05, Load5: MaxLoad5 * 2, MemUsage: 0.7}
+	f := m.Normalized()
+	if f[0] != 0.5 || f[1] != 0.05 || f[3] != 0.7 {
+		t.Fatalf("passthrough features wrong: %v", f)
+	}
+	if f[2] != 1 {
+		t.Fatalf("LOAD5 should saturate at 1, got %g", f[2])
+	}
+	zero := Metrics{}.Normalized()
+	if zero[2] != 0 {
+		t.Fatalf("zero load should normalize to 0, got %g", zero[2])
+	}
+}
+
+func TestAdvanceMovesTime(t *testing.T) {
+	c := newCluster(2)
+	before := c.Now()
+	c.Advance(100)
+	if c.Now() <= before {
+		t.Fatal("time did not advance")
+	}
+}
+
+func TestAdvanceChangesLoads(t *testing.T) {
+	c := newCluster(3)
+	before := c.ClusterAverage()
+	c.Advance(3600)
+	after := c.ClusterAverage()
+	if before == after {
+		t.Fatal("loads frozen after an hour")
+	}
+}
+
+func TestAllocatePrefersIdle(t *testing.T) {
+	c := newCluster(4)
+	c.Advance(1200)
+	picked := c.Allocate(8)
+	if len(picked) != 8 {
+		t.Fatalf("allocated %d", len(picked))
+	}
+	// Mean idleness of picked machines should beat the cluster mean.
+	var pickedIdle float64
+	for _, id := range picked {
+		pickedIdle += c.MachineMetrics(id).CPUIdle
+	}
+	pickedIdle /= float64(len(picked))
+	avg := c.ClusterAverage().CPUIdle
+	if pickedIdle < avg {
+		t.Fatalf("allocation not load-aware: picked %g vs cluster %g", pickedIdle, avg)
+	}
+}
+
+func TestAllocateBounds(t *testing.T) {
+	c := newCluster(5)
+	if got := len(c.Allocate(0)); got != 1 {
+		t.Fatalf("Allocate(0) = %d machines", got)
+	}
+	if got := len(c.Allocate(10_000)); got != c.Size() {
+		t.Fatalf("Allocate(huge) = %d machines", got)
+	}
+	// No duplicates.
+	picked := c.Allocate(16)
+	seen := map[int]bool{}
+	for _, id := range picked {
+		if seen[id] {
+			t.Fatalf("machine %d allocated twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAddLoadRaisesUtilization(t *testing.T) {
+	c := newCluster(6)
+	ids := []int{0, 1, 2}
+	before := c.Average(ids)
+	c.AddLoad(ids, 0.3)
+	after := c.Average(ids)
+	if after.CPUIdle >= before.CPUIdle {
+		t.Fatalf("AddLoad did not reduce idle: %g -> %g", before.CPUIdle, after.CPUIdle)
+	}
+}
+
+func TestHistoryAverageTracksWindow(t *testing.T) {
+	c := newCluster(7)
+	for i := 0; i < 100; i++ {
+		c.Advance(SampleInterval)
+	}
+	h := c.HistoryAverage()
+	cur := c.ClusterAverage()
+	// Both should be plausible utilization levels, not wildly apart.
+	if math.Abs(h.CPUIdle-cur.CPUIdle) > 0.5 {
+		t.Fatalf("history %g vs current %g", h.CPUIdle, cur.CPUIdle)
+	}
+	if h.IOWait <= 0 {
+		t.Fatal("history IO wait should be positive")
+	}
+}
+
+func TestAverageEmptyFallsBackToCluster(t *testing.T) {
+	c := newCluster(8)
+	if c.Average(nil) != c.ClusterAverage() {
+		t.Fatal("empty Average should be cluster-wide")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c1, c2 := newCluster(9), newCluster(9)
+	c1.Advance(600)
+	c2.Advance(600)
+	if c1.ClusterAverage() != c2.ClusterAverage() {
+		t.Fatal("same-seed clusters diverged")
+	}
+}
+
+func TestMetricsAddScale(t *testing.T) {
+	a := Metrics{CPUIdle: 0.2, IOWait: 0.1, Load5: 4, MemUsage: 0.5}
+	b := a.Add(a).Scale(0.5)
+	if b != a {
+		t.Fatalf("Add/Scale roundtrip: %v", b)
+	}
+}
+
+func TestDiurnalCycleMovesLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Machines = 16
+	cfg.DiurnalAmp = 0.3
+	cfg.BurstProb = 0
+	cfg.LoadNoise = 0.001
+	c := New(simrand.New(10), cfg)
+	var loads []float64
+	for i := 0; i < 24; i++ {
+		c.Advance(3600)
+		loads = append(loads, 1-c.ClusterAverage().CPUIdle)
+	}
+	lo, hi := loads[0], loads[0]
+	for _, v := range loads {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 0.15 {
+		t.Fatalf("diurnal swing too small: %g", hi-lo)
+	}
+}

@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"loam/internal/cardinality"
+	"loam/internal/cluster"
+	"loam/internal/expr"
+	"loam/internal/plan"
+	"loam/internal/simrand"
+	"loam/internal/warehouse"
+)
+
+func testPlanWithExchanges() *plan.Plan {
+	scanA := &plan.Node{Op: plan.OpTableScan, Table: "x.t000", PartitionsRead: 1, ColumnsAccessed: 2}
+	scanB := &plan.Node{Op: plan.OpTableScan, Table: "x.t001", PartitionsRead: 1, ColumnsAccessed: 1}
+	join := &plan.Node{
+		Op: plan.OpHashJoin, JoinForm: plan.JoinInner,
+		LeftCols:  []expr.ColumnRef{{Table: "x.t000", Column: "x.t000.c00"}},
+		RightCols: []expr.ColumnRef{{Table: "x.t001", Column: "x.t001.c00"}},
+		Children: []*plan.Node{
+			{Op: plan.OpExchange, Children: []*plan.Node{scanA}},
+			{Op: plan.OpExchange, Children: []*plan.Node{scanB}},
+		},
+	}
+	return &plan.Plan{Root: &plan.Node{Op: plan.OpSelect, Children: []*plan.Node{join}}}
+}
+
+func TestDecomposeStages(t *testing.T) {
+	p := testPlanWithExchanges()
+	d := Decompose(p.Root)
+	// Two exchanges → three stages.
+	if len(d.Stages) != 3 {
+		t.Fatalf("stages %d", len(d.Stages))
+	}
+	// Every node belongs to exactly one stage.
+	count := 0
+	p.Root.Walk(func(n *plan.Node) {
+		count++
+		if _, ok := d.StageOf[n]; !ok {
+			t.Fatalf("node %v not in any stage", n.Op)
+		}
+	})
+	if count != len(d.StageOf) {
+		t.Fatalf("stage map covers %d of %d nodes", len(d.StageOf), count)
+	}
+	// Topological order: children before parents.
+	pos := map[*Stage]int{}
+	for i, s := range d.Stages {
+		pos[s] = i
+	}
+	for _, s := range d.Stages {
+		for _, c := range s.Children {
+			if pos[c] >= pos[s] {
+				t.Fatal("child stage not before parent")
+			}
+		}
+	}
+	// Root stage is last and holds the plan root.
+	if d.Root != d.Stages[len(d.Stages)-1] {
+		t.Fatal("root stage misplaced")
+	}
+	if d.Root.Root != p.Root {
+		t.Fatal("root stage root mismatch")
+	}
+}
+
+func TestDecomposeSingleStage(t *testing.T) {
+	p := &plan.Plan{Root: &plan.Node{Op: plan.OpTableScan, Table: "t", PartitionsRead: 1}}
+	d := Decompose(p.Root)
+	if len(d.Stages) != 1 || len(d.Stages[0].Nodes) != 1 {
+		t.Fatalf("stages %d", len(d.Stages))
+	}
+}
+
+func TestSizeInstances(t *testing.T) {
+	if got := sizeInstances(100, 64, 0); got != 1 {
+		t.Fatalf("small input instances %d", got)
+	}
+	if got := sizeInstances(1e9, 64, 0); got != 64 {
+		t.Fatalf("huge input should cap at 64, got %d", got)
+	}
+	if got := sizeInstances(1e9, 64, 8); got != 8 {
+		t.Fatalf("hint should win, got %d", got)
+	}
+	if got := sizeInstances(1e9, 64, 128); got != 64 {
+		t.Fatalf("hint should still cap, got %d", got)
+	}
+}
+
+func TestEnvFactorMonotonicity(t *testing.T) {
+	// Typical allocated-machine conditions (Fuxi prefers idle machines).
+	base := cluster.Metrics{CPUIdle: 0.8, IOWait: 0.05, Load5: 8, MemUsage: 0.5}
+	f0 := EnvFactor(base)
+	busy := base
+	busy.CPUIdle = 0.1
+	if EnvFactor(busy) <= f0 {
+		t.Fatal("lower idle should cost more")
+	}
+	io := base
+	io.IOWait = 0.3
+	if EnvFactor(io) <= f0 {
+		t.Fatal("higher IO wait should cost more")
+	}
+	loaded := base
+	loaded.Load5 = 40
+	if EnvFactor(loaded) <= f0 {
+		t.Fatal("higher load should cost more")
+	}
+	// Near-average conditions should be near factor 1.
+	if f0 < 0.7 || f0 > 1.3 {
+		t.Fatalf("average-case factor %g not near 1", f0)
+	}
+}
+
+func testEnv(seed uint64) (*Executor, *warehouse.Project) {
+	a := warehouse.DefaultArchetype()
+	a.Name = "x"
+	a.TempTableFrac = 0
+	a.NumTables = 4
+	proj := warehouse.Generate(simrand.New(seed), a)
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 32
+	cl := cluster.New(simrand.New(seed+1), cfg)
+	return NewExecutor(simrand.New(seed+2), cl, proj), proj
+}
+
+func TestWorkPositiveAndStable(t *testing.T) {
+	ex, _ := testEnv(30)
+	p := testPlanWithExchanges()
+	w1, per, d, cards := ex.Work(p, 1)
+	if w1 <= 0 {
+		t.Fatalf("work %g", w1)
+	}
+	if len(per) != len(d.Stages) {
+		t.Fatalf("per-stage %d vs stages %d", len(per), len(d.Stages))
+	}
+	sum := 0.0
+	for _, v := range per {
+		sum += v
+	}
+	if math.Abs(sum-w1) > 1e-9 {
+		t.Fatalf("per-stage sum %g != total %g", sum, w1)
+	}
+	if cards.Rows(p.Root) <= 0 {
+		t.Fatal("root cardinality missing")
+	}
+	// Work is deterministic (no env, no noise).
+	w2, _, _, _ := ex.Work(p, 1)
+	if w1 != w2 {
+		t.Fatal("work not deterministic")
+	}
+}
+
+func TestExecuteRecordConsistency(t *testing.T) {
+	ex, _ := testEnv(31)
+	p := testPlanWithExchanges()
+	rec := ex.Execute(p, 1, DefaultOptions())
+	if rec.CPUCost <= 0 || rec.LatencySec <= 0 {
+		t.Fatalf("cost %g latency %g", rec.CPUCost, rec.LatencySec)
+	}
+	sum := 0.0
+	for _, c := range rec.StageCosts {
+		if c <= 0 {
+			t.Fatalf("stage cost %g", c)
+		}
+		sum += c
+	}
+	if math.Abs(sum-rec.CPUCost) > 1e-6*rec.CPUCost {
+		t.Fatalf("stage costs sum %g != total %g", sum, rec.CPUCost)
+	}
+	// Every plan node reports an environment.
+	p.Root.Walk(func(n *plan.Node) {
+		if _, ok := rec.NodeEnv(n); !ok {
+			t.Fatalf("node %v has no environment", n.Op)
+		}
+	})
+	// Nodes in the same stage share the environment.
+	d := Decompose(p.Root)
+	for n, s := range d.StageOf {
+		e1, _ := rec.NodeEnv(n)
+		e2, _ := rec.NodeEnv(s.Root)
+		if e1 != e2 {
+			t.Fatal("stage members report different environments")
+		}
+	}
+}
+
+func TestNodeEnvUnknownNode(t *testing.T) {
+	ex, _ := testEnv(32)
+	rec := ex.Execute(testPlanWithExchanges(), 1, DefaultOptions())
+	if _, ok := rec.NodeEnv(&plan.Node{Op: plan.OpSort}); ok {
+		t.Fatal("foreign node should have no environment")
+	}
+}
+
+func TestCostUnderEnvDeterministicAtZeroSigma(t *testing.T) {
+	ex, _ := testEnv(33)
+	p := testPlanWithExchanges()
+	env := cluster.Metrics{CPUIdle: 0.5, IOWait: 0.05, Load5: 10, MemUsage: 0.5}
+	c1 := ex.CostUnderEnv(p, 1, env, 0, nil)
+	c2 := ex.CostUnderEnv(p, 1, env, 0, nil)
+	if c1 != c2 || c1 <= 0 {
+		t.Fatalf("CostUnderEnv unstable: %g vs %g", c1, c2)
+	}
+	// Busier environment costs more.
+	busy := env
+	busy.CPUIdle = 0.05
+	if ex.CostUnderEnv(p, 1, busy, 0, nil) <= c1 {
+		t.Fatal("busy env should cost more")
+	}
+}
+
+func TestSpillPenaltyAppliesUnderMemoryPressure(t *testing.T) {
+	ex, _ := testEnv(34)
+	p := testPlanWithExchanges() // hash join inside
+	low := cluster.Metrics{CPUIdle: 0.5, IOWait: 0.05, Load5: 10, MemUsage: 0.5}
+	high := low
+	high.MemUsage = 0.95
+	cLow := ex.CostUnderEnv(p, 1, low, 0, nil)
+	cHigh := ex.CostUnderEnv(p, 1, high, 0, nil)
+	// Beyond the plain env factor increase, the spill penalty applies.
+	ratio := cHigh / cLow
+	plain := EnvFactor(high) / EnvFactor(low)
+	if ratio <= plain*1.05 {
+		t.Fatalf("no spill penalty visible: ratio %g vs plain %g", ratio, plain)
+	}
+}
+
+func TestFlightAveragesExecutions(t *testing.T) {
+	ex, _ := testEnv(35)
+	p := testPlanWithExchanges()
+	avg := ex.Flight(p, 1, 5, DefaultOptions())
+	if avg <= 0 {
+		t.Fatalf("flight avg %g", avg)
+	}
+}
+
+func TestExecutionVariance(t *testing.T) {
+	ex, _ := testEnv(36)
+	p := testPlanWithExchanges()
+	opt := DefaultOptions()
+	opt.NoiseSigma = 0.15
+	var costs []float64
+	for i := 0; i < 30; i++ {
+		costs = append(costs, ex.Execute(p, 1, opt).CPUCost)
+	}
+	mean, varSum := 0.0, 0.0
+	for _, c := range costs {
+		mean += c
+	}
+	mean /= float64(len(costs))
+	for _, c := range costs {
+		varSum += (c - mean) * (c - mean)
+	}
+	rsd := math.Sqrt(varSum/float64(len(costs))) / mean
+	if rsd < 0.02 {
+		t.Fatalf("recurring executions suspiciously stable: RSD %g", rsd)
+	}
+	if rsd > 0.8 {
+		t.Fatalf("recurring executions too wild: RSD %g", rsd)
+	}
+}
+
+func TestNodeWorkCoversAllOps(t *testing.T) {
+	coeffs := DefaultCoeffs()
+	src := cardinality.Source{
+		Rows:       func(string) float64 { return 1000 },
+		Partitions: func(string) int { return 4 },
+		Dist:       fixedDist{},
+		NDV:        func(expr.ColumnRef) float64 { return 100 },
+	}
+	est := &cardinality.Estimator{Src: src}
+	for op := plan.OpType(1); int(op) <= plan.NumOpTypes; op++ {
+		n := &plan.Node{Op: op, Table: "t", PartitionsRead: 2, ColumnsAccessed: 1}
+		if op.IsFilterLike() {
+			n.Pred = expr.Compare(expr.FuncEQ, expr.ColumnRef{Table: "t", Column: "c"}, 1)
+		}
+		if int(op) != int(plan.OpTableScan) {
+			n.Children = []*plan.Node{{Op: plan.OpTableScan, Table: "t", PartitionsRead: 2, ColumnsAccessed: 1}}
+		}
+		cards := est.Estimate(n)
+		w := coeffs.NodeWork(n, cards, 8)
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("op %v work = %g", op, w)
+		}
+	}
+}
+
+type fixedDist struct{}
+
+func (fixedDist) CompareSelectivity(expr.ColumnRef, expr.Func, []float64) float64 { return 0.5 }

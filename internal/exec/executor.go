@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"loam/internal/cardinality"
+	"loam/internal/cluster"
+	"loam/internal/plan"
+	"loam/internal/simrand"
+	"loam/internal/warehouse"
+)
+
+// Record is the execution log entry written to the historical query
+// repository (§2.1, phase 4): the plan, per-stage execution environments,
+// and the end-to-end CPU cost and latency.
+type Record struct {
+	QueryID    string
+	TemplateID string
+	Day        int
+	Plan       *plan.Plan
+	// StageEnvs[i] is the average load metrics of the machines stage i ran
+	// on, averaged over the stage's execution window.
+	StageEnvs []cluster.Metrics
+	// StageCosts[i] is stage i's CPU cost.
+	StageCosts []float64
+	CPUCost    float64
+	LatencySec float64
+
+	stageOf map[*plan.Node]int
+}
+
+// NodeEnv returns the execution environment of the stage containing n. All
+// nodes of a stage share one environment (§4). The boolean is false for
+// nodes not in this record's plan.
+func (r *Record) NodeEnv(n *plan.Node) (cluster.Metrics, bool) {
+	idx, ok := r.stageOf[n]
+	if !ok || idx >= len(r.StageEnvs) {
+		return cluster.Metrics{}, false
+	}
+	return r.StageEnvs[idx], true
+}
+
+// Options tunes one execution.
+type Options struct {
+	// NoiseSigma is the per-stage log-normal noise parameter; recurring
+	// templates carry their own sigma so the fleet reproduces Fig. 1's
+	// spread of cost variability.
+	NoiseSigma float64
+	// MaxInstances caps stage parallelism.
+	MaxInstances int
+}
+
+// DefaultOptions returns moderate noise and parallelism.
+func DefaultOptions() Options {
+	return Options{NoiseSigma: 0.10, MaxInstances: 64}
+}
+
+// Executor runs plans against a project's ground truth on a shared cluster.
+type Executor struct {
+	Cluster *cluster.Cluster
+	Project *warehouse.Project
+	Coeffs  CostCoeffs
+
+	rng     *simrand.RNG
+	counter int
+}
+
+// NewExecutor builds an executor. The RNG seeds execution noise only; the
+// cluster carries its own streams.
+func NewExecutor(rng *simrand.RNG, cl *cluster.Cluster, p *warehouse.Project) *Executor {
+	return &Executor{
+		Cluster: cl,
+		Project: p,
+		Coeffs:  DefaultCoeffs(),
+		rng:     rng.Derive("executor"),
+	}
+}
+
+// Work returns the environment-independent work of each stage of a plan,
+// with the decomposition it was computed over.
+func (ex *Executor) Work(p *plan.Plan, day int) (total float64, perStage []float64, d *Decomposition, cards *cardinality.Result) {
+	est := &cardinality.Estimator{Src: cardinality.TruthSource(ex.Project, day)}
+	cards = est.Estimate(p.Root)
+	d = Decompose(p.Root)
+	perStage = make([]float64, len(d.Stages))
+	for i, s := range d.Stages {
+		s.Instances = ex.stageInstances(s, cards, DefaultOptions().MaxInstances)
+		w := 0.0
+		for _, n := range s.Nodes {
+			w += ex.Coeffs.NodeWork(n, cards, s.Instances)
+		}
+		perStage[i] = w
+		total += w
+	}
+	return total, perStage, d, cards
+}
+
+func (ex *Executor) stageInstances(s *Stage, cards *cardinality.Result, maxInstances int) int {
+	input := 0.0
+	hint := 0
+	for _, n := range s.Nodes {
+		if n.Op == plan.OpTableScan {
+			input += cards.Rows(n)
+		}
+		if n.Parallelism > hint {
+			hint = n.Parallelism
+		}
+	}
+	for _, c := range s.Children {
+		input += cards.Rows(c.Root)
+	}
+	return sizeInstances(input, maxInstances, hint)
+}
+
+// Execute runs the plan on the shared cluster, advancing simulated time and
+// returning the execution record. Day selects the catalog state (table sizes
+// grow over days).
+func (ex *Executor) Execute(p *plan.Plan, day int, opt Options) *Record {
+	if opt.MaxInstances <= 0 {
+		opt.MaxInstances = 64
+	}
+	if opt.NoiseSigma <= 0 {
+		opt.NoiseSigma = 0.10
+	}
+	_, perStage, d, _ := ex.Work(p, day)
+
+	ex.counter++
+	rec := &Record{
+		QueryID:    fmt.Sprintf("q%08d", ex.counter),
+		Day:        day,
+		Plan:       p,
+		StageEnvs:  make([]cluster.Metrics, len(d.Stages)),
+		StageCosts: make([]float64, len(d.Stages)),
+		stageOf:    make(map[*plan.Node]int, len(d.StageOf)),
+	}
+	for n, s := range d.StageOf {
+		rec.stageOf[n] = s.ID
+	}
+
+	var latency float64
+	for i, s := range d.Stages {
+		work := perStage[i]
+		machines := ex.Cluster.Allocate(min(s.Instances, ex.Cluster.Size()/2))
+		// ~100 work units per instance-second; windows clipped for
+		// simulation efficiency.
+		duration := work / (float64(s.Instances) * 100)
+		if duration < cluster.SampleInterval {
+			duration = cluster.SampleInterval
+		}
+		if duration > 600 {
+			duration = 600
+		}
+
+		// Average the machines' metrics across the execution window.
+		env := ex.Cluster.Average(machines)
+		ex.Cluster.AddLoad(machines, loadFootprint(work, s.Instances))
+		ex.Cluster.Advance(math.Min(duration, 3*cluster.SampleInterval))
+		env = env.Add(ex.Cluster.Average(machines)).Scale(0.5)
+
+		factor := EnvFactor(env)
+		if env.MemUsage > ex.Coeffs.SpillThreshold && stageHashHeavy(s) {
+			factor *= ex.Coeffs.SpillPenalty
+		}
+		// Mean-one log-normal noise.
+		sigma := opt.NoiseSigma
+		noise := ex.rng.LogNormal(-sigma*sigma/2, sigma)
+
+		cost := work * factor * noise
+		rec.StageEnvs[i] = env
+		rec.StageCosts[i] = cost
+		rec.CPUCost += cost
+
+		// End-to-end latency is far noisier than CPU cost (§3): stages queue
+		// behind other tenants' work and suffer straggler instances, both
+		// worse under load. This is why LOAM predicts CPU cost.
+		queueWait := ex.rng.LogNormal(2.2, 0.9) * (1.2 - env.CPUIdle)
+		straggler := ex.rng.LogNormal(0, 0.35)
+		latency += queueWait + duration*straggler
+	}
+	rec.LatencySec = latency
+	return rec
+}
+
+// CostUnderEnv returns the plan's cost if every stage ran under the given
+// fixed environment, with fresh noise — the quantity C_e(P) of §5's
+// theoretical model. A zero-sigma call returns the deterministic cost.
+func (ex *Executor) CostUnderEnv(p *plan.Plan, day int, env cluster.Metrics, sigma float64, rng *simrand.RNG) float64 {
+	total, perStage, d, _ := ex.Work(p, day)
+	_ = total
+	factor := EnvFactor(env)
+	cost := 0.0
+	for i, s := range d.Stages {
+		f := factor
+		if env.MemUsage > ex.Coeffs.SpillThreshold && stageHashHeavy(s) {
+			f *= ex.Coeffs.SpillPenalty
+		}
+		noise := 1.0
+		if sigma > 0 && rng != nil {
+			noise = rng.LogNormal(-sigma*sigma/2, sigma)
+		}
+		cost += perStage[i] * f * noise
+	}
+	return cost
+}
+
+// Flight re-executes a plan n times in the flighting environment (§3): the
+// shared cluster advances, but nothing is logged to any project history, and
+// the mean cost is returned as ground truth.
+func (ex *Executor) Flight(p *plan.Plan, day, n int, opt Options) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += ex.Execute(p, day, opt).CPUCost
+	}
+	return total / float64(n)
+}
+
+func stageHashHeavy(s *Stage) bool {
+	for _, n := range s.Nodes {
+		if hashHeavy(n.Op) {
+			return true
+		}
+	}
+	return false
+}
+
+func loadFootprint(work float64, instances int) float64 {
+	v := work / (float64(instances) * 50_000)
+	if v > 0.3 {
+		v = 0.3
+	}
+	return v
+}

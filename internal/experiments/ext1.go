@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"loam/internal/explorer"
+)
+
+// Ext1Result quantifies the paper's §7.3 conjecture: the fleet-benefit
+// estimate is "restricted by current plan exploration strategies" and
+// "could be substantially improved by incorporating more diversified plan
+// exploration strategies". For each evaluation project it measures the
+// exploration *ceiling* — the average per-query improvement of the best
+// candidate over the default plan (by environment-free true work) — under
+// the paper's conservative explorer and under the diversified wide explorer.
+type Ext1Result struct {
+	Projects []Ext1Project
+}
+
+// Ext1Project is one project's ceiling comparison.
+type Ext1Project struct {
+	Project string
+	Queries int
+	// NarrowCeiling and WideCeiling are mean per-query best-candidate
+	// improvements (1 − bestWork/defaultWork).
+	NarrowCeiling float64
+	WideCeiling   float64
+	// NarrowCands and WideCands are the mean candidate-set sizes.
+	NarrowCands float64
+	WideCands   float64
+}
+
+// Ext1 measures exploration ceilings over each project's test queries.
+func (e *Env) Ext1() *Ext1Result {
+	res := &Ext1Result{}
+	for _, ps := range e.Projects() {
+		pe := e.Eval(ps.Config.Name)
+		p := Ext1Project{Project: ps.Config.Name}
+		for qi := range pe.Queries {
+			entry := pe.Queries[qi].Entry
+			day := entry.Record.Day
+
+			narrow := explorer.New(ps.View(day))
+			narrow.TopK = 0
+			wide := explorer.NewWide(ps.View(day))
+			wide.TopK = 0
+
+			ceiling := func(ex *explorer.Explorer) (float64, int) {
+				cands := ex.Candidates(entry.Query)
+				defWork, _, _, _ := ps.Executor.Work(cands[0], day)
+				best := defWork
+				for _, c := range cands[1:] {
+					if w, _, _, _ := ps.Executor.Work(c, day); w < best {
+						best = w
+					}
+				}
+				if defWork <= 0 {
+					return 0, len(cands)
+				}
+				return 1 - best/defWork, len(cands)
+			}
+			nc, nn := ceiling(narrow)
+			wc, wn := ceiling(wide)
+			p.NarrowCeiling += nc
+			p.WideCeiling += wc
+			p.NarrowCands += float64(nn)
+			p.WideCands += float64(wn)
+			p.Queries++
+		}
+		if p.Queries > 0 {
+			n := float64(p.Queries)
+			p.NarrowCeiling /= n
+			p.WideCeiling /= n
+			p.NarrowCands /= n
+			p.WideCands /= n
+		}
+		res.Projects = append(res.Projects, p)
+	}
+	return res
+}
+
+// Render prints the ceiling comparison.
+func (r *Ext1Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Extension (§7.3) — Exploration ceiling: conservative vs diversified strategies")
+	fmt.Fprintf(w, "%-10s %8s %14s %14s %10s %10s\n",
+		"project", "queries", "narrowCeiling", "wideCeiling", "narrow#", "wide#")
+	for _, p := range r.Projects {
+		fmt.Fprintf(w, "%-10s %8d %13.1f%% %13.1f%% %10.1f %10.1f\n",
+			p.Project, p.Queries, p.NarrowCeiling*100, p.WideCeiling*100, p.NarrowCands, p.WideCands)
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"loam/internal/ranking"
+	"loam/internal/selector"
+	"loam/internal/simrand"
+)
+
+// Fig12Result reproduces Fig. 12: Ranker's Recall@(k,k) and NDCG@k against
+// the expected performance of a uniformly random ranking, cross-validated
+// over splits of the fleet (paper: 13 training / 15 test projects).
+type Fig12Result struct {
+	Ks           []int
+	Recall       []float64
+	RecallRandom []float64
+	NDCG         []float64
+	NDCGRandom   []float64
+	Splits       int
+	TestProjects int
+}
+
+// rankerSplit trains a Ranker on trainIdx fleet projects and ranks testIdx,
+// returning per-k recall and NDCG.
+func rankerSplit(fleet []*FleetProject, trainIdx, testIdx []int, ks []int) (recall, ndcg []float64) {
+	var samples []selector.RankerSample
+	for _, i := range trainIdx {
+		samples = append(samples, fleet[i].Samples...)
+	}
+	r := selector.TrainRanker(samples)
+
+	rel := make([]float64, len(testIdx))
+	scores := make([]float64, len(testIdx))
+	for j, i := range testIdx {
+		rel[j] = fleet[i].Improvement
+		feats := make([][]float64, len(fleet[i].Samples))
+		for si, s := range fleet[i].Samples {
+			feats[si] = s.Features
+		}
+		scores[j] = r.ScoreWorkload(feats)
+	}
+	// Predicted order: descending score.
+	order := ranking.IdealOrder(scores)
+
+	recall = make([]float64, len(ks))
+	ndcg = make([]float64, len(ks))
+	for ki, k := range ks {
+		recall[ki] = ranking.RecallAtKN(order, rel, k, k)
+		ndcg[ki] = ranking.NDCGAtK(order, rel, k)
+	}
+	return recall, ndcg
+}
+
+// Fig12 cross-validates the Ranker over the fleet.
+func (e *Env) Fig12() *Fig12Result {
+	fleet := e.Fleet()
+	ks := []int{1, 2, 3, 4, 5}
+	nTest := 15
+	if nTest > len(fleet)-2 {
+		nTest = len(fleet) / 2
+	}
+	nTrain := len(fleet) - nTest
+
+	res := &Fig12Result{
+		Ks:           ks,
+		Recall:       make([]float64, len(ks)),
+		NDCG:         make([]float64, len(ks)),
+		RecallRandom: make([]float64, len(ks)),
+		NDCGRandom:   make([]float64, len(ks)),
+		TestProjects: nTest,
+	}
+	rng := simrand.New(e.Cfg.Seed + 1234)
+	const splits = 8
+	res.Splits = splits
+	for s := 0; s < splits; s++ {
+		perm := rng.Perm(len(fleet))
+		trainIdx := perm[:nTrain]
+		testIdx := perm[nTrain:]
+		recall, ndcg := rankerSplit(fleet, trainIdx, testIdx, ks)
+		rel := make([]float64, len(testIdx))
+		for j, i := range testIdx {
+			rel[j] = fleet[i].Improvement
+		}
+		for ki := range ks {
+			res.Recall[ki] += recall[ki] / splits
+			res.NDCG[ki] += ndcg[ki] / splits
+			res.RecallRandom[ki] += ranking.ExpectedRandomRecall(ks[ki], len(testIdx)) / splits
+			res.NDCGRandom[ki] += ranking.ExpectedRandomNDCG(rel, ks[ki]) / splits
+		}
+	}
+	return res
+}
+
+// Render prints the two Fig.-12 panels.
+func (r *Fig12Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 12 — Performance of Ranker (%d splits, %d test projects)\n", r.Splits, r.TestProjects)
+	fmt.Fprintln(w, "(a) Recall@(k,k)        (b) NDCG@k")
+	fmt.Fprintf(w, "%4s %8s %8s   %8s %8s\n", "k", "Ranker", "Random", "Ranker", "Random")
+	for ki, k := range r.Ks {
+		fmt.Fprintf(w, "%4d %8.3f %8.3f   %8.3f %8.3f\n",
+			k, r.Recall[ki], r.RecallRandom[ki], r.NDCG[ki], r.NDCGRandom[ki])
+	}
+}
+
+// Fig16Result reproduces App. Fig. 16: Ranker quality as a function of the
+// number of training projects (2 → 12), fixed test size.
+type Fig16Result struct {
+	TrainSizes []int
+	// RecallAtK[k index][size index], k ∈ {1,3,5}.
+	Ks     []int
+	Recall [][]float64
+	NDCG   [][]float64
+}
+
+// Fig16 sweeps the training-project count.
+func (e *Env) Fig16() *Fig16Result {
+	fleet := e.Fleet()
+	ks := []int{1, 3, 5}
+	nTest := 15
+	if nTest > len(fleet)-2 {
+		nTest = len(fleet) / 2
+	}
+	maxTrain := len(fleet) - nTest
+	var sizes []int
+	for _, s := range []int{2, 4, 6, 8, 10, 12} {
+		if s <= maxTrain {
+			sizes = append(sizes, s)
+		}
+	}
+	res := &Fig16Result{TrainSizes: sizes, Ks: ks}
+	res.Recall = make([][]float64, len(ks))
+	res.NDCG = make([][]float64, len(ks))
+	for ki := range ks {
+		res.Recall[ki] = make([]float64, len(sizes))
+		res.NDCG[ki] = make([]float64, len(sizes))
+	}
+	rng := simrand.New(e.Cfg.Seed + 5678)
+	const splits = 6
+	for s := 0; s < splits; s++ {
+		perm := rng.Perm(len(fleet))
+		testIdx := perm[len(fleet)-nTest:]
+		for si, size := range sizes {
+			trainIdx := perm[:size]
+			recall, ndcg := rankerSplit(fleet, trainIdx, testIdx, ks)
+			for ki := range ks {
+				res.Recall[ki][si] += recall[ki] / splits
+				res.NDCG[ki][si] += ndcg[ki] / splits
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the sweep.
+func (r *Fig16Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 16 — Ranker performance w.r.t. number of training projects")
+	fmt.Fprintf(w, "%-12s", "train size")
+	for _, s := range r.TrainSizes {
+		fmt.Fprintf(w, " %8d", s)
+	}
+	fmt.Fprintln(w)
+	for ki, k := range r.Ks {
+		fmt.Fprintf(w, "Recall@%-5d", k)
+		for si := range r.TrainSizes {
+			fmt.Fprintf(w, " %8.3f", r.Recall[ki][si])
+		}
+		fmt.Fprintln(w)
+	}
+	for ki, k := range r.Ks {
+		fmt.Fprintf(w, "NDCG@%-7d", k)
+		for si := range r.TrainSizes {
+			fmt.Fprintf(w, " %8.3f", r.NDCG[ki][si])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFig6Default runs the full end-to-end comparison at default scale
+// (minutes); gated behind an env var so `go test ./...` stays fast.
+func TestFig6Default(t *testing.T) {
+	if os.Getenv("LOAM_FULL") == "" {
+		t.Skip("set LOAM_FULL=1 to run the default-scale Fig6")
+	}
+	cfg := Default()
+	cfg.Log = os.Stderr
+	env := NewEnv(cfg)
+	f6, err := env.Fig6()
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	f6.Render(os.Stderr)
+	env.Fig7(f6).Render(os.Stderr)
+	env.Fig9(f6).Render(os.Stderr)
+	r11, err := env.Fig11(f6)
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	r11.Render(os.Stderr)
+}

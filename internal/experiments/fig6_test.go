@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFig6Tiny smoke-runs the end-to-end comparison at tiny scale and checks
+// structural invariants (not the paper's shapes, which need default scale).
+func TestFig6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Tiny()
+	cfg.Log = os.Stderr
+	env := NewEnv(cfg)
+	f6, err := env.Fig6()
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	f6.Render(os.Stderr)
+	if len(f6.Projects) != 5 {
+		t.Fatalf("want 5 projects, got %d", len(f6.Projects))
+	}
+	for _, pr := range f6.Projects {
+		if pr.Native <= 0 {
+			t.Errorf("%s: non-positive native cost", pr.Project)
+		}
+		if pr.BestAchievable > pr.Native*1.001 {
+			t.Errorf("%s: best-achievable %.0f above native %.0f", pr.Project, pr.BestAchievable, pr.Native)
+		}
+		if len(pr.Methods) != 4 {
+			t.Errorf("%s: want 4 methods, got %d", pr.Project, len(pr.Methods))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestIntrospect prints, for one project, the queries with the largest
+// default-vs-best gaps and which knobs win — a tuning aid (env-gated).
+func TestIntrospect(t *testing.T) {
+	if os.Getenv("LOAM_INTROSPECT") == "" {
+		t.Skip("set LOAM_INTROSPECT=<project> to run")
+	}
+	name := os.Getenv("LOAM_INTROSPECT")
+	cfg := Default()
+	cfg.Log = os.Stderr
+	env := NewEnv(cfg)
+	pe := env.Eval(name)
+
+	type row struct {
+		qi    int
+		ratio float64
+		knobs string
+	}
+	var rows []row
+	winners := map[string]int{}
+	for qi := range pe.Queries {
+		q := &pe.Queries[qi]
+		best, bi := q.Means[0], 0
+		for ci, m := range q.Means {
+			if m < best {
+				best, bi = m, ci
+			}
+		}
+		knobs := "default"
+		if bi != 0 {
+			knobs = strings.Join(q.Cands[bi].Knobs, ",")
+		}
+		winners[knobs]++
+		rows = append(rows, row{qi: qi, ratio: q.Means[0] / best, knobs: knobs})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ratio > rows[j].ratio })
+	fmt.Fprintf(os.Stderr, "winners: %v\n", winners)
+	for _, r := range rows[:10] {
+		q := &pe.Queries[r.qi]
+		fmt.Fprintf(os.Stderr, "q%02d default/best=%.1fx best=%s tables=%d means=%v\n",
+			r.qi, r.ratio, r.knobs, len(q.Entry.Query.Tables), fmtMeans(q.Means))
+		if r.ratio > 2.5 {
+			fmt.Fprintf(os.Stderr, "--- default plan:\n%s", q.Cands[0])
+		}
+	}
+}
+
+func fmtMeans(m []float64) string {
+	parts := make([]string, len(m))
+	for i, v := range m {
+		parts[i] = fmt.Sprintf("%.0f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

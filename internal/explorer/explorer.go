@@ -1,0 +1,147 @@
+// Package explorer implements LOAM's plan explorer (§3): steering the native
+// optimizer with knobs to produce a diverse set of candidate plans. It
+// combines Bao-style flag toggling with Lero-style cardinality scaling for
+// sub-plans with at least three inputs, deduplicates by plan fingerprint,
+// and keeps the top-k candidates by the native optimizer's rough cost —
+// always including the default plan, mirroring the paper's evaluation setup
+// (§7.1).
+package explorer
+
+import (
+	"sort"
+
+	"loam/internal/nativeopt"
+	"loam/internal/plan"
+	"loam/internal/query"
+	"loam/internal/stats"
+)
+
+// Explorer generates candidate plans for queries against one statistics
+// view.
+type Explorer struct {
+	View *stats.View
+	// CardScales are the Lero-style scaling factors tried (beyond 1).
+	CardScales []float64
+	// TopK bounds the candidate set (the paper retains the top 5 by rough
+	// cost estimate). 0 means keep all.
+	TopK int
+	// SafetyFactor drops candidates whose rough cost exceeds this multiple
+	// of the default plan's rough cost — the paper's flags were chosen to be
+	// "safe enough to avoid drastically bad plans". 0 disables the cut.
+	SafetyFactor float64
+	// Wide additionally explores pairwise flag combinations (§7.3's
+	// diversified-exploration direction).
+	Wide bool
+}
+
+// New builds an explorer with the paper's defaults.
+func New(v *stats.View) *Explorer {
+	return &Explorer{View: v, CardScales: []float64{0.2, 0.5, 5.0}, TopK: 5, SafetyFactor: 3}
+}
+
+// NewWide builds a diversified explorer — the paper's §7.3 future-work
+// direction ("the estimated value could be substantially improved by
+// incorporating more diversified plan exploration strategies"): pairwise
+// flag combinations, a denser cardinality-scaling grid, and a larger
+// candidate budget.
+func NewWide(v *stats.View) *Explorer {
+	e := New(v)
+	e.Wide = true
+	e.CardScales = []float64{0.1, 0.2, 0.5, 2, 5, 10}
+	e.TopK = 8
+	return e
+}
+
+// singleFlagSets enumerates the six single-flag toggles.
+func singleFlagSets() []nativeopt.Flags {
+	return []nativeopt.Flags{
+		{MergeJoin: true},
+		{BroadcastJoin: true},
+		{ShuffleCombine: true},
+		{SpoolEager: true},
+		{FilterPushdown: true},
+		{DopHigh: true},
+	}
+}
+
+// pairFlagSets enumerates every two-flag combination (wide exploration).
+func pairFlagSets() []nativeopt.Flags {
+	singles := singleFlagSets()
+	var out []nativeopt.Flags
+	for i := 0; i < len(singles); i++ {
+		for j := i + 1; j < len(singles); j++ {
+			f := merge(singles[i], singles[j])
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func merge(a, b nativeopt.Flags) nativeopt.Flags {
+	return nativeopt.Flags{
+		MergeJoin:      a.MergeJoin || b.MergeJoin,
+		BroadcastJoin:  a.BroadcastJoin || b.BroadcastJoin,
+		ShuffleCombine: a.ShuffleCombine || b.ShuffleCombine,
+		SpoolEager:     a.SpoolEager || b.SpoolEager,
+		FilterPushdown: a.FilterPushdown || b.FilterPushdown,
+		DopHigh:        a.DopHigh || b.DopHigh,
+	}
+}
+
+// Candidates returns the candidate plan set for a query: the default plan
+// first, then up to TopK-1 distinct knob-tuned alternatives ranked by the
+// native rough cost.
+func (e *Explorer) Candidates(q *query.Query) []*plan.Plan {
+	base := nativeopt.New(e.View)
+	def := base.Optimize(q, nativeopt.Flags{})
+
+	type scored struct {
+		p    *plan.Plan
+		cost float64
+	}
+	seen := map[uint64]bool{def.Root.Fingerprint(): true}
+	defCost := base.RoughCost(def)
+	var alts []scored
+
+	add := func(p *plan.Plan) {
+		fp := p.Root.Fingerprint()
+		if seen[fp] {
+			return
+		}
+		seen[fp] = true
+		cost := base.RoughCost(p)
+		if e.SafetyFactor > 0 && cost > e.SafetyFactor*defCost {
+			return // drastically-bad candidate by the native estimate
+		}
+		alts = append(alts, scored{p: p, cost: cost})
+	}
+
+	for _, f := range singleFlagSets() {
+		add(base.Optimize(q, f))
+	}
+	if e.Wide {
+		for _, f := range pairFlagSets() {
+			add(base.Optimize(q, f))
+		}
+	}
+	for _, scale := range e.CardScales {
+		scaled := &nativeopt.Optimizer{View: e.View, CardScale: scale}
+		add(scaled.Optimize(q, nativeopt.Flags{}))
+	}
+
+	sort.Slice(alts, func(i, j int) bool { return alts[i].cost < alts[j].cost })
+	out := []*plan.Plan{def}
+	limit := len(alts)
+	if e.TopK > 0 && e.TopK-1 < limit {
+		limit = e.TopK - 1
+	}
+	for _, s := range alts[:limit] {
+		out = append(out, s.p)
+	}
+	return out
+}
+
+// DefaultPlan returns just the native optimizer's plan (no knobs).
+func (e *Explorer) DefaultPlan(q *query.Query) *plan.Plan {
+	return nativeopt.New(e.View).Optimize(q, nativeopt.Flags{})
+}

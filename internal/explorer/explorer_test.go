@@ -1,0 +1,145 @@
+package explorer
+
+import (
+	"testing"
+
+	"loam/internal/simrand"
+	"loam/internal/stats"
+	"loam/internal/warehouse"
+	"loam/internal/workload"
+)
+
+func fixture(seed uint64, pol stats.Policy) (*Explorer, *workload.Generator) {
+	a := warehouse.DefaultArchetype()
+	a.Name = "e"
+	a.TempTableFrac = 0
+	a.RowsLog10Mean = 5.8
+	p := warehouse.Generate(simrand.New(seed), a)
+	v := stats.Snapshot(simrand.New(seed+1), p, 3, pol)
+	g := workload.NewGenerator(simrand.New(seed+2), p, workload.DefaultConfig())
+	return New(v), g
+}
+
+func TestCandidatesIncludeDefaultFirst(t *testing.T) {
+	e, g := fixture(1, stats.DefaultPolicy())
+	q := g.Templates[0].Instantiate(simrand.New(3), 3)
+	cands := e.Candidates(q)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !cands[0].IsDefault() {
+		t.Fatal("first candidate must be the default plan")
+	}
+	def := e.DefaultPlan(q)
+	if cands[0].Root.Fingerprint() != def.Root.Fingerprint() {
+		t.Fatal("candidate[0] differs from DefaultPlan")
+	}
+}
+
+func TestCandidatesAreDistinct(t *testing.T) {
+	e, g := fixture(2, stats.DefaultPolicy())
+	for i, tpl := range g.Templates {
+		if i >= 5 {
+			break
+		}
+		q := tpl.Instantiate(simrand.New(4), 3)
+		seen := map[uint64]bool{}
+		for _, c := range e.Candidates(q) {
+			fp := c.Root.Fingerprint()
+			if seen[fp] {
+				t.Fatalf("duplicate candidate for %s", q.ID)
+			}
+			seen[fp] = true
+		}
+	}
+}
+
+func TestTopKBound(t *testing.T) {
+	e, g := fixture(3, stats.DefaultPolicy())
+	e.TopK = 3
+	q := g.Templates[0].Instantiate(simrand.New(5), 3)
+	if got := len(e.Candidates(q)); got > 3 {
+		t.Fatalf("TopK violated: %d candidates", got)
+	}
+	e.TopK = 0
+	all := e.Candidates(q)
+	e.TopK = 5
+	top5 := e.Candidates(q)
+	if len(top5) > 5 {
+		t.Fatalf("top5 has %d", len(top5))
+	}
+	if len(all) < len(top5) {
+		t.Fatal("uncut set smaller than cut set")
+	}
+}
+
+func TestSafetyCutDropsDrasticPlans(t *testing.T) {
+	e, g := fixture(4, stats.DefaultPolicy())
+	q := g.Templates[0].Instantiate(simrand.New(6), 3)
+	e.TopK = 0
+	e.SafetyFactor = 0 // no cut
+	all := e.Candidates(q)
+	e.SafetyFactor = 1.0000001 // only near-default plans survive
+	tight := e.Candidates(q)
+	if len(tight) > len(all) {
+		t.Fatal("tighter safety produced more candidates")
+	}
+}
+
+func TestCandidatesDeterministic(t *testing.T) {
+	e, g := fixture(5, stats.DefaultPolicy())
+	q := g.Templates[1].Instantiate(simrand.New(7), 3)
+	c1 := e.Candidates(q)
+	c2 := e.Candidates(q)
+	if len(c1) != len(c2) {
+		t.Fatal("candidate counts differ")
+	}
+	for i := range c1 {
+		if c1[i].Root.Fingerprint() != c2[i].Root.Fingerprint() {
+			t.Fatalf("candidate %d differs across calls", i)
+		}
+	}
+}
+
+func TestCandidateKnobsRecorded(t *testing.T) {
+	e, g := fixture(6, stats.DefaultPolicy())
+	q := g.Templates[0].Instantiate(simrand.New(8), 3)
+	for i, c := range e.Candidates(q) {
+		if i == 0 {
+			if len(c.Knobs) != 0 {
+				t.Fatalf("default plan has knobs %v", c.Knobs)
+			}
+			continue
+		}
+		if len(c.Knobs) == 0 {
+			t.Fatalf("candidate %d has no knob label", i)
+		}
+	}
+}
+
+func TestWideExplorerSupersetsCandidates(t *testing.T) {
+	e, g := fixture(7, stats.DefaultPolicy())
+	q := g.Templates[0].Instantiate(simrand.New(9), 3)
+	e.TopK = 0
+	e.SafetyFactor = 0
+	narrow := len(e.Candidates(q))
+
+	w := NewWide(e.View)
+	w.TopK = 0
+	w.SafetyFactor = 0
+	wide := len(w.Candidates(q))
+	if wide <= narrow {
+		t.Fatalf("wide exploration produced %d candidates vs narrow %d", wide, narrow)
+	}
+}
+
+func TestPairFlagSetsCount(t *testing.T) {
+	if got := len(pairFlagSets()); got != 15 {
+		t.Fatalf("pairs %d, want C(6,2)=15", got)
+	}
+	for _, f := range pairFlagSets() {
+		if len(f.Knobs()) != 2 {
+			t.Fatalf("pair with %d knobs", len(f.Knobs()))
+		}
+	}
+}

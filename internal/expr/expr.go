@@ -1,0 +1,309 @@
+// Package expr models filtering predicates as expression trees, mirroring
+// MaxCompute's representation described in the paper (§4, "Filtering and
+// Related Operators"): internal nodes are functions (>, <, =, AND, ...) and
+// leaves are columns and constants.
+//
+// The package also evaluates the *true* selectivity of a predicate against a
+// column-distribution provider. The provider abstraction keeps expr free of a
+// dependency on the warehouse package; the warehouse implements it from its
+// hidden ground-truth column distributions, and the stats package implements
+// it from the optimizer-visible (possibly stale) statistics.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Func identifies a predicate function. The set mirrors the common predicate
+// functions encoded multi-hot by LOAM's plan vectorization.
+type Func int
+
+// Predicate functions. Comparison functions take a column and a constant;
+// boolean connectives take sub-predicates.
+const (
+	FuncEQ Func = iota + 1
+	FuncNE
+	FuncLT
+	FuncLE
+	FuncGT
+	FuncGE
+	FuncIn
+	FuncLike
+	FuncBetween
+	FuncIsNull
+	FuncAnd
+	FuncOr
+	FuncNot
+)
+
+// NumFuncs is the number of distinct predicate functions, used by the
+// multi-hot encoder.
+const NumFuncs = int(FuncNot)
+
+var funcNames = map[Func]string{
+	FuncEQ:      "=",
+	FuncNE:      "!=",
+	FuncLT:      "<",
+	FuncLE:      "<=",
+	FuncGT:      ">",
+	FuncGE:      ">=",
+	FuncIn:      "IN",
+	FuncLike:    "LIKE",
+	FuncBetween: "BETWEEN",
+	FuncIsNull:  "IS NULL",
+	FuncAnd:     "AND",
+	FuncOr:      "OR",
+	FuncNot:     "NOT",
+}
+
+// String returns the SQL-ish spelling of the function.
+func (f Func) String() string {
+	if s, ok := funcNames[f]; ok {
+		return s
+	}
+	return fmt.Sprintf("Func(%d)", int(f))
+}
+
+// IsComparison reports whether f compares a column against constants (as
+// opposed to combining sub-predicates).
+func (f Func) IsComparison() bool {
+	switch f {
+	case FuncEQ, FuncNE, FuncLT, FuncLE, FuncGT, FuncGE, FuncIn, FuncLike, FuncBetween, FuncIsNull:
+		return true
+	default:
+		return false
+	}
+}
+
+// ColumnRef identifies a column by its globally unique table and column
+// identifiers (the same identifiers the hash encoder consumes).
+type ColumnRef struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+}
+
+// String returns "table.column".
+func (c ColumnRef) String() string { return c.Table + "." + c.Column }
+
+// Node is one node of a predicate expression tree.
+//
+// Comparison nodes have Col set and use Args as the constant operand(s):
+// one value for =, !=, <, <=, >, >=; two for BETWEEN; k for IN. Constants are
+// value *ranks* in the column's domain [0, NDV): the simulator's synthetic
+// data identifies a value with its frequency rank under the column's
+// distribution, which is all that selectivity arithmetic needs.
+//
+// Connective nodes (AND, OR, NOT) use Children.
+type Node struct {
+	Fn       Func      `json:"fn"`
+	Col      ColumnRef `json:"col,omitempty"`
+	Args     []float64 `json:"args,omitempty"`
+	Children []*Node   `json:"children,omitempty"`
+}
+
+// Compare builds a comparison node fn(col, args...).
+func Compare(fn Func, col ColumnRef, args ...float64) *Node {
+	return &Node{Fn: fn, Col: col, Args: args}
+}
+
+// And conjoins sub-predicates. nil children are dropped; a single child is
+// returned unwrapped; an empty conjunction returns nil (TRUE).
+func And(children ...*Node) *Node { return connective(FuncAnd, children) }
+
+// Or disjoins sub-predicates with the same normalization rules as And.
+func Or(children ...*Node) *Node { return connective(FuncOr, children) }
+
+func connective(fn Func, children []*Node) *Node {
+	kept := make([]*Node, 0, len(children))
+	for _, c := range children {
+		if c != nil {
+			kept = append(kept, c)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return &Node{Fn: fn, Children: kept}
+	}
+}
+
+// Not negates a sub-predicate.
+func Not(child *Node) *Node {
+	if child == nil {
+		return nil
+	}
+	return &Node{Fn: FuncNot, Children: []*Node{child}}
+}
+
+// Clone deep-copies the tree.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	out := &Node{Fn: n.Fn, Col: n.Col}
+	if len(n.Args) > 0 {
+		out.Args = append([]float64(nil), n.Args...)
+	}
+	if len(n.Children) > 0 {
+		out.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			out.Children[i] = c.Clone()
+		}
+	}
+	return out
+}
+
+// Size returns the number of nodes in the tree. A nil predicate has size 0.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.Size()
+	}
+	return total
+}
+
+// Depth returns the height of the tree (1 for a single node, 0 for nil).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	best := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}
+
+// Funcs returns the set of functions appearing in the tree, sorted. This is
+// the input to the plan encoder's multi-hot function feature.
+func (n *Node) Funcs() []Func {
+	seen := map[Func]bool{}
+	n.walk(func(m *Node) { seen[m.Fn] = true })
+	out := make([]Func, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Columns returns the distinct columns referenced by the tree, sorted by
+// their string form. This is the input to the encoder's column hash feature.
+func (n *Node) Columns() []ColumnRef {
+	seen := map[ColumnRef]bool{}
+	n.walk(func(m *Node) {
+		if m.Fn.IsComparison() {
+			seen[m.Col] = true
+		}
+	})
+	out := make([]ColumnRef, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func (n *Node) walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.walk(fn)
+	}
+}
+
+// String renders the predicate in SQL-ish infix form.
+func (n *Node) String() string {
+	if n == nil {
+		return "TRUE"
+	}
+	switch n.Fn {
+	case FuncAnd, FuncOr:
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, " "+n.Fn.String()+" ") + ")"
+	case FuncNot:
+		return "NOT (" + n.Children[0].String() + ")"
+	case FuncBetween:
+		return fmt.Sprintf("%s BETWEEN %g AND %g", n.Col, arg(n.Args, 0), arg(n.Args, 1))
+	case FuncIn:
+		vals := make([]string, len(n.Args))
+		for i, v := range n.Args {
+			vals[i] = fmt.Sprintf("%g", v)
+		}
+		return fmt.Sprintf("%s IN (%s)", n.Col, strings.Join(vals, ", "))
+	case FuncIsNull:
+		return fmt.Sprintf("%s IS NULL", n.Col)
+	default:
+		return fmt.Sprintf("%s %s %g", n.Col, n.Fn, arg(n.Args, 0))
+	}
+}
+
+func arg(args []float64, i int) float64 {
+	if i < len(args) {
+		return args[i]
+	}
+	return 0
+}
+
+// DistProvider supplies per-column selectivity for atomic comparisons. The
+// warehouse implements this over ground-truth distributions; the stats view
+// implements it over (possibly stale or missing) optimizer statistics.
+type DistProvider interface {
+	// CompareSelectivity returns the fraction of rows satisfying
+	// fn(col, args...), in [0,1].
+	CompareSelectivity(col ColumnRef, fn Func, args []float64) float64
+}
+
+// Selectivity evaluates the tree's selectivity against dist using the
+// standard independence assumptions: conjunctions multiply, disjunctions use
+// inclusion-exclusion pairwise-independence, negation complements. A nil
+// predicate is TRUE (selectivity 1).
+func Selectivity(n *Node, dist DistProvider) float64 {
+	if n == nil {
+		return 1
+	}
+	switch n.Fn {
+	case FuncAnd:
+		s := 1.0
+		for _, c := range n.Children {
+			s *= Selectivity(c, dist)
+		}
+		return clamp01(s)
+	case FuncOr:
+		// P(A or B or ...) under independence = 1 - prod(1 - P_i).
+		q := 1.0
+		for _, c := range n.Children {
+			q *= 1 - Selectivity(c, dist)
+		}
+		return clamp01(1 - q)
+	case FuncNot:
+		return clamp01(1 - Selectivity(n.Children[0], dist))
+	default:
+		return clamp01(dist.CompareSelectivity(n.Col, n.Fn, n.Args))
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

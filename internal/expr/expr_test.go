@@ -1,0 +1,188 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var colA = ColumnRef{Table: "t1", Column: "a"}
+var colB = ColumnRef{Table: "t1", Column: "b"}
+
+// constDist returns fixed selectivities per column for testing the
+// combinator arithmetic.
+type constDist map[ColumnRef]float64
+
+func (d constDist) CompareSelectivity(col ColumnRef, fn Func, args []float64) float64 {
+	if s, ok := d[col]; ok {
+		return s
+	}
+	return 1
+}
+
+func TestAndNormalization(t *testing.T) {
+	if And() != nil {
+		t.Fatal("empty And should be nil")
+	}
+	single := Compare(FuncEQ, colA, 1)
+	if got := And(nil, single, nil); got != single {
+		t.Fatal("single-child And should unwrap")
+	}
+	both := And(Compare(FuncEQ, colA, 1), Compare(FuncLT, colB, 2))
+	if both.Fn != FuncAnd || len(both.Children) != 2 {
+		t.Fatalf("And structure wrong: %v", both)
+	}
+}
+
+func TestOrNotNormalization(t *testing.T) {
+	if Or() != nil || Not(nil) != nil {
+		t.Fatal("nil handling broken")
+	}
+	n := Not(Compare(FuncEQ, colA, 1))
+	if n.Fn != FuncNot || len(n.Children) != 1 {
+		t.Fatal("Not structure wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := And(Compare(FuncIn, colA, 1, 2, 3), Compare(FuncLT, colB, 5))
+	clone := orig.Clone()
+	clone.Children[0].Args[0] = 99
+	clone.Children[1].Col = ColumnRef{Table: "x", Column: "y"}
+	if orig.Children[0].Args[0] != 1 {
+		t.Fatal("clone shares Args")
+	}
+	if orig.Children[1].Col != colB {
+		t.Fatal("clone shares Col")
+	}
+}
+
+func TestSizeAndDepth(t *testing.T) {
+	var nilNode *Node
+	if nilNode.Size() != 0 || nilNode.Depth() != 0 {
+		t.Fatal("nil size/depth")
+	}
+	leaf := Compare(FuncEQ, colA, 1)
+	if leaf.Size() != 1 || leaf.Depth() != 1 {
+		t.Fatal("leaf size/depth")
+	}
+	tree := And(leaf, Or(Compare(FuncLT, colB, 1), Compare(FuncGT, colB, 2)))
+	if tree.Size() != 5 {
+		t.Fatalf("size %d", tree.Size())
+	}
+	if tree.Depth() != 3 {
+		t.Fatalf("depth %d", tree.Depth())
+	}
+}
+
+func TestFuncsCollected(t *testing.T) {
+	tree := And(Compare(FuncEQ, colA, 1), Not(Compare(FuncLike, colB, 2)))
+	fns := tree.Funcs()
+	want := []Func{FuncEQ, FuncLike, FuncAnd, FuncNot}
+	if len(fns) != len(want) {
+		t.Fatalf("funcs %v", fns)
+	}
+	set := map[Func]bool{}
+	for _, f := range fns {
+		set[f] = true
+	}
+	for _, f := range want {
+		if !set[f] {
+			t.Fatalf("missing %v in %v", f, fns)
+		}
+	}
+}
+
+func TestColumnsDistinctSorted(t *testing.T) {
+	tree := And(Compare(FuncEQ, colB, 1), Compare(FuncLT, colA, 2), Compare(FuncGE, colB, 0))
+	cols := tree.Columns()
+	if len(cols) != 2 || cols[0] != colA || cols[1] != colB {
+		t.Fatalf("columns %v", cols)
+	}
+}
+
+func TestSelectivityNil(t *testing.T) {
+	if Selectivity(nil, constDist{}) != 1 {
+		t.Fatal("nil predicate should be TRUE")
+	}
+}
+
+func TestSelectivityAndMultiplies(t *testing.T) {
+	d := constDist{colA: 0.5, colB: 0.2}
+	got := Selectivity(And(Compare(FuncEQ, colA, 0), Compare(FuncEQ, colB, 0)), d)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("AND selectivity %g", got)
+	}
+}
+
+func TestSelectivityOrInclusionExclusion(t *testing.T) {
+	d := constDist{colA: 0.5, colB: 0.2}
+	got := Selectivity(Or(Compare(FuncEQ, colA, 0), Compare(FuncEQ, colB, 0)), d)
+	want := 1 - 0.5*0.8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("OR selectivity %g, want %g", got, want)
+	}
+}
+
+func TestSelectivityNotComplements(t *testing.T) {
+	d := constDist{colA: 0.3}
+	got := Selectivity(Not(Compare(FuncEQ, colA, 0)), d)
+	if math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("NOT selectivity %g", got)
+	}
+}
+
+func TestSelectivityAlwaysInUnitInterval(t *testing.T) {
+	if err := quick.Check(func(sa, sb float64, negate bool) bool {
+		d := constDist{colA: math.Abs(math.Mod(sa, 2)), colB: math.Abs(math.Mod(sb, 2))}
+		tree := And(Compare(FuncEQ, colA, 0), Or(Compare(FuncLT, colB, 1), Compare(FuncGT, colB, 2)))
+		if negate {
+			tree = Not(tree)
+		}
+		s := Selectivity(tree, d)
+		return s >= 0 && s <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tree := And(
+		Compare(FuncBetween, colA, 1, 5),
+		Compare(FuncIn, colB, 1, 2),
+		Not(Compare(FuncIsNull, colA)),
+	)
+	s := tree.String()
+	for _, want := range []string{"BETWEEN", "IN (1, 2)", "NOT", "IS NULL", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering %q missing %q", s, want)
+		}
+	}
+	var nilNode *Node
+	if nilNode.String() != "TRUE" {
+		t.Fatal("nil should render TRUE")
+	}
+}
+
+func TestIsComparison(t *testing.T) {
+	for _, f := range []Func{FuncEQ, FuncNE, FuncLT, FuncLE, FuncGT, FuncGE, FuncIn, FuncLike, FuncBetween, FuncIsNull} {
+		if !f.IsComparison() {
+			t.Fatalf("%v should be comparison", f)
+		}
+	}
+	for _, f := range []Func{FuncAnd, FuncOr, FuncNot} {
+		if f.IsComparison() {
+			t.Fatalf("%v should not be comparison", f)
+		}
+	}
+}
+
+func TestFuncStrings(t *testing.T) {
+	if FuncEQ.String() != "=" || FuncLike.String() != "LIKE" {
+		t.Fatal("func names wrong")
+	}
+	if !strings.Contains(Func(99).String(), "99") {
+		t.Fatal("unknown func should include number")
+	}
+}

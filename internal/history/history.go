@@ -1,0 +1,109 @@
+// Package history implements the per-project historical query repository
+// (§2.1, phase 4): every completed execution is logged with its plan,
+// per-stage execution environment, and end-to-end cost, forming the training
+// data for LOAM's adaptive cost predictor.
+package history
+
+import (
+	"sort"
+
+	"loam/internal/exec"
+	"loam/internal/query"
+)
+
+// Entry pairs an execution record with the logical query that produced it.
+type Entry struct {
+	Query  *query.Query
+	Record *exec.Record
+}
+
+// Repository is one project's query log.
+type Repository struct {
+	entries []Entry
+}
+
+// Append logs an execution.
+func (r *Repository) Append(e Entry) { r.entries = append(r.entries, e) }
+
+// Len returns the number of logged executions.
+func (r *Repository) Len() int { return len(r.entries) }
+
+// All returns every entry (shared backing array; callers must not mutate).
+func (r *Repository) All() []Entry { return r.entries }
+
+// Window returns entries with fromDay <= day < toDay.
+func (r *Repository) Window(fromDay, toDay int) []Entry {
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.Record.Day >= fromDay && e.Record.Day < toDay {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountByDay returns the number of queries per day, used by the selector's
+// volume rules.
+func (r *Repository) CountByDay() map[int]int {
+	out := make(map[int]int)
+	for _, e := range r.entries {
+		out[e.Record.Day]++
+	}
+	return out
+}
+
+// Days returns the sorted distinct days present.
+func (r *Repository) Days() []int {
+	seen := map[int]bool{}
+	for _, e := range r.entries {
+		seen[e.Record.Day] = true
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dedup returns entries with duplicate plans removed (identical recurring
+// executions collapse to their first occurrence), mirroring the paper's
+// "deduplicated queries over 30 consecutive days".
+func Dedup(entries []Entry) []Entry {
+	seen := make(map[uint64]bool, len(entries))
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		fp := e.Record.Plan.Root.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// Split divides entries into a training window (days [0, trainDays)) and a
+// test window (days [trainDays, trainDays+testDays)), deduplicated, with the
+// training set capped at maxTrain (0 = uncapped) — the paper's 25-day /
+// 5-day / ≤10,000-query protocol.
+func (r *Repository) Split(trainDays, testDays, maxTrain int) (train, test []Entry) {
+	train = Dedup(r.Window(0, trainDays))
+	if maxTrain > 0 && len(train) > maxTrain {
+		train = train[:maxTrain]
+	}
+	test = Dedup(r.Window(trainDays, trainDays+testDays))
+	return train, test
+}
+
+// AvgCost returns the mean CPU cost across entries (0 for empty input).
+func AvgCost(entries []Entry) float64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, e := range entries {
+		total += e.Record.CPUCost
+	}
+	return total / float64(len(entries))
+}

@@ -1,0 +1,106 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"loam/internal/exec"
+	"loam/internal/plan"
+	"loam/internal/query"
+)
+
+func entry(day int, table string, cost float64) Entry {
+	p := &plan.Plan{Root: &plan.Node{Op: plan.OpTableScan, Table: table, PartitionsRead: 1}}
+	return Entry{
+		Query:  &query.Query{ID: fmt.Sprintf("q-%d-%s", day, table), Day: day},
+		Record: &exec.Record{Day: day, Plan: p, CPUCost: cost},
+	}
+}
+
+func TestWindow(t *testing.T) {
+	r := &Repository{}
+	for d := 0; d < 10; d++ {
+		r.Append(entry(d, fmt.Sprintf("t%d", d), 100))
+	}
+	if got := len(r.Window(2, 5)); got != 3 {
+		t.Fatalf("window size %d", got)
+	}
+	if got := len(r.Window(10, 20)); got != 0 {
+		t.Fatalf("empty window size %d", got)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestCountByDayAndDays(t *testing.T) {
+	r := &Repository{}
+	r.Append(entry(1, "a", 1))
+	r.Append(entry(1, "b", 1))
+	r.Append(entry(3, "c", 1))
+	counts := r.CountByDay()
+	if counts[1] != 2 || counts[3] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	days := r.Days()
+	if len(days) != 2 || days[0] != 1 || days[1] != 3 {
+		t.Fatalf("days %v", days)
+	}
+}
+
+func TestDedupCollapsesIdenticalPlans(t *testing.T) {
+	entries := []Entry{
+		entry(0, "same", 1),
+		entry(1, "same", 2), // identical plan fingerprint
+		entry(2, "other", 3),
+	}
+	got := Dedup(entries)
+	if len(got) != 2 {
+		t.Fatalf("dedup kept %d", len(got))
+	}
+	// First occurrence wins.
+	if got[0].Record.CPUCost != 1 {
+		t.Fatal("dedup did not keep first occurrence")
+	}
+}
+
+func TestSplitCapsAndWindows(t *testing.T) {
+	r := &Repository{}
+	for d := 0; d < 10; d++ {
+		for i := 0; i < 3; i++ {
+			r.Append(entry(d, fmt.Sprintf("t%d-%d", d, i), float64(d)))
+		}
+	}
+	train, test := r.Split(8, 2, 5)
+	if len(train) != 5 {
+		t.Fatalf("train capped at %d", len(train))
+	}
+	for _, e := range train {
+		if e.Record.Day >= 8 {
+			t.Fatal("train window leak")
+		}
+	}
+	if len(test) != 6 {
+		t.Fatalf("test size %d", len(test))
+	}
+	for _, e := range test {
+		if e.Record.Day < 8 || e.Record.Day >= 10 {
+			t.Fatal("test window leak")
+		}
+	}
+	// Uncapped.
+	train2, _ := r.Split(8, 2, 0)
+	if len(train2) != 24 {
+		t.Fatalf("uncapped train %d", len(train2))
+	}
+}
+
+func TestAvgCost(t *testing.T) {
+	if AvgCost(nil) != 0 {
+		t.Fatal("empty avg should be 0")
+	}
+	entries := []Entry{entry(0, "a", 10), entry(0, "b", 30)}
+	if got := AvgCost(entries); got != 20 {
+		t.Fatalf("avg %g", got)
+	}
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+
+	"loam/internal/simrand"
+)
+
+// Transpose returns a^T.
+func Transpose(a *Tensor) *Tensor {
+	out := child(a.C, a.R, a)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			out.Data[j*a.R+i] = a.Data[i*a.C+j]
+		}
+	}
+	if out.requiresGrad {
+		out.back = func() {
+			a.ensureGrad()
+			for i := 0; i < a.R; i++ {
+				for j := 0; j < a.C; j++ {
+					a.Grad[i*a.C+j] += out.Grad[j*a.R+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W *Tensor // in×out
+	B *Tensor // 1×out
+}
+
+// NewLinear builds a Xavier-initialized linear layer.
+func NewLinear(rng *simrand.RNG, in, out int) *Linear {
+	l := &Linear{W: Param(in, out), B: Param(1, out)}
+	InitXavier(rng, l.W)
+	return l
+}
+
+// Forward applies the layer to x (n×in).
+func (l *Linear) Forward(x *Tensor) *Tensor {
+	return AddRow(MatMul(x, l.W), l.B)
+}
+
+// Params returns the trainable tensors.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// InitXavier fills a parameter with Xavier/Glorot uniform values.
+func InitXavier(rng *simrand.RNG, t *Tensor) {
+	limit := math.Sqrt(6.0 / float64(t.R+t.C))
+	for i := range t.Data {
+		t.Data[i] = rng.Uniform(-limit, limit)
+	}
+}
+
+// TreeConv is one binary tree convolution layer: each node's output is a
+// linear map of [self; left; right] (zeros for absent children) with a
+// nonlinearity — the Bao/Neo-style tree convolution of §4.
+type TreeConv struct {
+	Lin *Linear // (3·in)×out
+}
+
+// NewTreeConv builds a tree convolution layer mapping in→out features.
+func NewTreeConv(rng *simrand.RNG, in, out int) *TreeConv {
+	return &TreeConv{Lin: NewLinear(rng, 3*in, out)}
+}
+
+// Forward applies the layer. x is the n×in node-feature matrix; self, left
+// and right give each node's own index and child indices (-1 = absent).
+func (tc *TreeConv) Forward(x *Tensor, self, left, right []int) *Tensor {
+	return ReLU(tc.Lin.Forward(GatherConcat3(x, self, left, right)))
+}
+
+// Params returns the trainable tensors.
+func (tc *TreeConv) Params() []*Tensor { return tc.Lin.Params() }
+
+// GCNLayer is one graph convolution: H' = ReLU(Â H W + b) with Â the
+// symmetrically normalized adjacency (with self-loops).
+type GCNLayer struct {
+	Lin *Linear
+}
+
+// NewGCNLayer builds a GCN layer mapping in→out features.
+func NewGCNLayer(rng *simrand.RNG, in, out int) *GCNLayer {
+	return &GCNLayer{Lin: NewLinear(rng, in, out)}
+}
+
+// Forward applies the layer given the normalized adjacency ahat (n×n).
+func (g *GCNLayer) Forward(ahat, h *Tensor) *Tensor {
+	return ReLU(g.Lin.Forward(MatMul(ahat, h)))
+}
+
+// Params returns the trainable tensors.
+func (g *GCNLayer) Params() []*Tensor { return g.Lin.Params() }
+
+// NormalizedAdjacency builds the constant Â = D^{-1/2}(A+I)D^{-1/2} tensor
+// from an undirected edge list over n nodes.
+func NormalizedAdjacency(n int, edges [][2]int) *Tensor {
+	a := New(n, n)
+	deg := make([]float64, n)
+	add := func(i, j int) {
+		a.Data[i*n+j] = 1
+		a.Data[j*n+i] = 1
+	}
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] = 1
+	}
+	for _, e := range edges {
+		add(e[0], e[1])
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			deg[i] += a.Data[i*n+j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.Data[i*n+j] != 0 {
+				a.Data[i*n+j] /= math.Sqrt(deg[i] * deg[j])
+			}
+		}
+	}
+	return a
+}
+
+// Attention is one self-attention block with a position-wise feed-forward
+// sublayer and residual connections — a compact Transformer encoder block.
+type Attention struct {
+	WQ, WK, WV *Linear
+	FF1, FF2   *Linear
+	dim        int
+}
+
+// NewAttention builds an attention block over dim features.
+func NewAttention(rng *simrand.RNG, dim, ffDim int) *Attention {
+	return &Attention{
+		WQ:  NewLinear(rng, dim, dim),
+		WK:  NewLinear(rng, dim, dim),
+		WV:  NewLinear(rng, dim, dim),
+		FF1: NewLinear(rng, dim, ffDim),
+		FF2: NewLinear(rng, ffDim, dim),
+		dim: dim,
+	}
+}
+
+// Forward applies self-attention + FFN with residuals to x (seq×dim).
+func (a *Attention) Forward(x *Tensor) *Tensor {
+	q := a.WQ.Forward(x)
+	k := a.WK.Forward(x)
+	v := a.WV.Forward(x)
+	scores := Scale(MatMul(q, Transpose(k)), 1/math.Sqrt(float64(a.dim)))
+	att := MatMul(SoftmaxRows(scores), v)
+	h := Add(x, att)
+	ff := a.FF2.Forward(ReLU(a.FF1.Forward(h)))
+	return Add(h, ff)
+}
+
+// Params returns the trainable tensors.
+func (a *Attention) Params() []*Tensor {
+	var out []*Tensor
+	for _, l := range []*Linear{a.WQ, a.WK, a.WV, a.FF1, a.FF2} {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ParamCount sums the element counts of parameters.
+func ParamCount(params []*Tensor) int {
+	total := 0
+	for _, p := range params {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// ParamBytes estimates the serialized size of parameters in bytes (float64).
+func ParamBytes(params []*Tensor) int { return 8 * ParamCount(params) }

@@ -1,0 +1,71 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer with optional exponential learning-rate decay —
+// the paper's LOAM setup uses an initial learning rate of 0.01 with a 0.99
+// per-epoch decay (§7.1).
+type Adam struct {
+	Params []*Tensor
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Clip   float64 // max gradient element magnitude; 0 disables clipping
+
+	m, v [][]float64
+	t    int
+}
+
+// NewAdam builds an Adam optimizer over the parameter list.
+func NewAdam(params []*Tensor, lr float64) *Adam {
+	a := &Adam{Params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Data))
+		a.v[i] = make([]float64, len(p.Data))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.Params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j]
+			if a.Clip > 0 {
+				if g > a.Clip {
+					g = a.Clip
+				} else if g < -a.Clip {
+					g = -a.Clip
+				}
+			}
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			p.Data[j] -= a.LR * (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + a.Eps)
+		}
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.Params {
+		if p.Grad == nil {
+			continue
+		}
+		for j := range p.Grad {
+			p.Grad[j] = 0
+		}
+	}
+}
+
+// DecayLR multiplies the learning rate by factor (e.g. 0.99 per epoch).
+func (a *Adam) DecayLR(factor float64) { a.LR *= factor }

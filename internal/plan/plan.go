@@ -1,0 +1,295 @@
+package plan
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"loam/internal/expr"
+)
+
+// Node is one operator in a physical plan tree. Only the attribute fields
+// relevant to the node's operator type are populated (e.g. Table for
+// TableScan, JoinForm/LeftCols/RightCols for joins).
+type Node struct {
+	Op       OpType  `json:"op"`
+	Children []*Node `json:"children,omitempty"`
+
+	// TableScan attributes (§4: table identifier, partitions and columns
+	// accessed).
+	Table           string `json:"table,omitempty"`
+	PartitionsRead  int    `json:"partitionsRead,omitempty"`
+	ColumnsAccessed int    `json:"columnsAccessed,omitempty"`
+
+	// Join attributes.
+	JoinForm  JoinForm         `json:"joinForm,omitempty"`
+	LeftCols  []expr.ColumnRef `json:"leftCols,omitempty"`
+	RightCols []expr.ColumnRef `json:"rightCols,omitempty"`
+
+	// Aggregation attributes.
+	AggFuncs  []AggFunc        `json:"aggFuncs,omitempty"`
+	AggCols   []expr.ColumnRef `json:"aggCols,omitempty"`
+	GroupCols []expr.ColumnRef `json:"groupCols,omitempty"`
+
+	// Filter / Calc predicate.
+	Pred *expr.Node `json:"pred,omitempty"`
+
+	// Parallelism is the degree-of-parallelism hint for the stage containing
+	// this node (0 = system default).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Plan is a full physical plan, plus the knob settings that produced it —
+// the explorer records which flags were toggled so execution logs can carry
+// the default/candidate domain label.
+type Plan struct {
+	Root *Node `json:"root"`
+	// Knobs lists the exploration knobs applied ("flag:mergeJoin",
+	// "cardScale:2.0", ...); empty for the default plan.
+	Knobs []string `json:"knobs,omitempty"`
+}
+
+// IsDefault reports whether the plan was produced with no exploration knobs.
+func (p *Plan) IsDefault() bool { return len(p.Knobs) == 0 }
+
+// Clone deep-copies the plan.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	out := &Plan{Root: p.Root.Clone()}
+	if len(p.Knobs) > 0 {
+		out.Knobs = append([]string(nil), p.Knobs...)
+	}
+	return out
+}
+
+// Clone deep-copies the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	out := *n
+	out.Children = nil
+	if len(n.Children) > 0 {
+		out.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			out.Children[i] = c.Clone()
+		}
+	}
+	out.LeftCols = append([]expr.ColumnRef(nil), n.LeftCols...)
+	out.RightCols = append([]expr.ColumnRef(nil), n.RightCols...)
+	out.AggFuncs = append([]AggFunc(nil), n.AggFuncs...)
+	out.AggCols = append([]expr.ColumnRef(nil), n.AggCols...)
+	out.GroupCols = append([]expr.ColumnRef(nil), n.GroupCols...)
+	out.Pred = n.Pred.Clone()
+	return &out
+}
+
+// Walk visits every node in preorder.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Size returns the number of operators in the subtree.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.Size()
+	}
+	return total
+}
+
+// Depth returns the height of the subtree (1 for a leaf, 0 for nil).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	best := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > best {
+			best = d
+		}
+	}
+	return best + 1
+}
+
+// Tables returns the distinct base tables scanned in the subtree, in
+// first-appearance (preorder) order.
+func (n *Node) Tables() []string {
+	var out []string
+	seen := map[string]bool{}
+	n.Walk(func(m *Node) {
+		if m.Op == OpTableScan && !seen[m.Table] {
+			seen[m.Table] = true
+			out = append(out, m.Table)
+		}
+	})
+	return out
+}
+
+// Canonicalize returns an equivalent tree in which every node has at most
+// two children: n-ary operators (Union) are rebalanced into left-deep binary
+// chains, matching the paper's canonical-binary-tree assumption for the tree
+// convolution.
+func (n *Node) Canonicalize() *Node {
+	if n == nil {
+		return nil
+	}
+	out := n.Clone()
+	out.canonicalizeInPlace()
+	return out
+}
+
+func (n *Node) canonicalizeInPlace() {
+	for _, c := range n.Children {
+		c.canonicalizeInPlace()
+	}
+	for len(n.Children) > 2 {
+		// Fold the first two children into a nested copy of this operator.
+		nested := &Node{Op: n.Op, Children: []*Node{n.Children[0], n.Children[1]}}
+		n.Children = append([]*Node{nested}, n.Children[2:]...)
+	}
+}
+
+// Fingerprint returns a structural hash of the subtree covering operator
+// types, attributes, and predicate shapes. Two plans with equal fingerprints
+// are treated as duplicates by the explorer.
+func (n *Node) Fingerprint() uint64 {
+	h := fnv.New64a()
+	n.fingerprint(h)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func (n *Node) fingerprint(h hasher) {
+	if n == nil {
+		writeString(h, "<nil>")
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n.Op))
+	_, _ = h.Write(buf[:])
+	writeString(h, n.Table)
+	writeInt(h, n.PartitionsRead)
+	writeInt(h, n.ColumnsAccessed)
+	writeInt(h, int(n.JoinForm))
+	for _, c := range n.LeftCols {
+		writeString(h, c.String())
+	}
+	for _, c := range n.RightCols {
+		writeString(h, c.String())
+	}
+	for _, a := range n.AggFuncs {
+		writeInt(h, int(a))
+	}
+	for _, c := range n.AggCols {
+		writeString(h, c.String())
+	}
+	for _, c := range n.GroupCols {
+		writeString(h, c.String())
+	}
+	if n.Pred != nil {
+		writeString(h, n.Pred.String())
+	}
+	writeInt(h, n.Parallelism)
+	writeInt(h, len(n.Children))
+	for _, c := range n.Children {
+		c.fingerprint(h)
+	}
+}
+
+func writeString(h hasher, s string) {
+	_, _ = h.Write([]byte(s))
+	_, _ = h.Write([]byte{0})
+}
+
+func writeInt(h hasher, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+	_, _ = h.Write(buf[:])
+}
+
+// MarshalJSON round-trips the plan through encoding/json.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	type alias Plan
+	return json.Marshal((*alias)(p))
+}
+
+// UnmarshalJSON round-trips the plan through encoding/json.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	type alias Plan
+	return json.Unmarshal(data, (*alias)(p))
+}
+
+// String renders the plan as an indented operator tree.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	if len(p.Knobs) > 0 {
+		fmt.Fprintf(&sb, "-- knobs: %s\n", strings.Join(p.Knobs, ", "))
+	}
+	p.Root.render(&sb, 0)
+	return sb.String()
+}
+
+func (n *Node) render(sb *strings.Builder, depth int) {
+	if n == nil {
+		return
+	}
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.Op.String())
+	switch {
+	case n.Op == OpTableScan:
+		fmt.Fprintf(sb, "(%s parts=%d cols=%d)", n.Table, n.PartitionsRead, n.ColumnsAccessed)
+	case n.Op.IsJoin():
+		fmt.Fprintf(sb, "(%s on %v=%v)", n.JoinForm, refs(n.LeftCols), refs(n.RightCols))
+	case n.Op.IsAggregate():
+		fmt.Fprintf(sb, "(%v by %v)", n.AggFuncs, refs(n.GroupCols))
+	case n.Pred != nil:
+		fmt.Fprintf(sb, "(%s)", n.Pred)
+	}
+	sb.WriteByte('\n')
+	for _, c := range n.Children {
+		c.render(sb, depth+1)
+	}
+}
+
+func refs(cols []expr.ColumnRef) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// LogNorm returns log-min-max-normalized v: log(1+v) scaled into [0,1] given
+// an upper bound maxV (values above saturate at 1). This is the numeric
+// normalization the paper applies to partition and column counts.
+func LogNorm(v, maxV float64) float64 {
+	if v < 0 {
+		v = 0
+	}
+	if maxV <= 0 {
+		return 0
+	}
+	x := math.Log1p(v) / math.Log1p(maxV)
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,220 @@
+package plan
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"loam/internal/expr"
+)
+
+func samplePlan() *Plan {
+	scanA := &Node{Op: OpTableScan, Table: "p.t1", PartitionsRead: 4, ColumnsAccessed: 3}
+	scanB := &Node{Op: OpTableScan, Table: "p.t2", PartitionsRead: 1, ColumnsAccessed: 2}
+	filter := &Node{
+		Op:       OpFilter,
+		Pred:     expr.Compare(expr.FuncEQ, expr.ColumnRef{Table: "p.t1", Column: "c"}, 5),
+		Children: []*Node{scanA},
+	}
+	join := &Node{
+		Op:        OpHashJoin,
+		JoinForm:  JoinInner,
+		LeftCols:  []expr.ColumnRef{{Table: "p.t1", Column: "c"}},
+		RightCols: []expr.ColumnRef{{Table: "p.t2", Column: "d"}},
+		Children: []*Node{
+			{Op: OpExchange, Children: []*Node{filter}},
+			{Op: OpExchange, Children: []*Node{scanB}},
+		},
+	}
+	agg := &Node{
+		Op:        OpHashAggregate,
+		AggFuncs:  []AggFunc{AggSum},
+		AggCols:   []expr.ColumnRef{{Table: "p.t1", Column: "c"}},
+		GroupCols: []expr.ColumnRef{{Table: "p.t2", Column: "d"}},
+		Children:  []*Node{join},
+	}
+	return &Plan{Root: &Node{Op: OpSelect, Children: []*Node{agg}}}
+}
+
+func TestCloneDeep(t *testing.T) {
+	p := samplePlan()
+	c := p.Clone()
+	if c.Root.Fingerprint() != p.Root.Fingerprint() {
+		t.Fatal("clone fingerprint differs")
+	}
+	// Mutate the clone; the original must be unaffected.
+	c.Root.Children[0].GroupCols[0].Column = "zzz"
+	c.Root.Children[0].Children[0].Children[0].Children[0].Pred.Args[0] = 99
+	if c.Root.Fingerprint() == p.Root.Fingerprint() {
+		t.Fatal("mutation should change fingerprint")
+	}
+	if p.Root.Children[0].GroupCols[0].Column == "zzz" {
+		t.Fatal("clone shares GroupCols")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := samplePlan().Root.Fingerprint()
+	mutations := []func(p *Plan){
+		func(p *Plan) { p.Root.Children[0].Op = OpSortAggregate },
+		func(p *Plan) { p.Root.Children[0].Children[0].JoinForm = JoinLeft },
+		func(p *Plan) { findScan(p.Root, "p.t1").PartitionsRead = 2 },
+		func(p *Plan) { findScan(p.Root, "p.t2").Table = "p.t9" },
+		func(p *Plan) { p.Root.Children[0].AggFuncs[0] = AggMax },
+	}
+	for i, mut := range mutations {
+		p := samplePlan()
+		mut(p)
+		if p.Root.Fingerprint() == base {
+			t.Fatalf("mutation %d did not change fingerprint", i)
+		}
+	}
+}
+
+func findScan(n *Node, table string) *Node {
+	var out *Node
+	n.Walk(func(m *Node) {
+		if m.Op == OpTableScan && m.Table == table {
+			out = m
+		}
+	})
+	return out
+}
+
+func TestSizeDepthTables(t *testing.T) {
+	p := samplePlan()
+	if got := p.Root.Size(); got != 8 {
+		t.Fatalf("size %d", got)
+	}
+	if got := p.Root.Depth(); got != 6 {
+		t.Fatalf("depth %d", got)
+	}
+	tables := p.Root.Tables()
+	if len(tables) != 2 || tables[0] != "p.t1" || tables[1] != "p.t2" {
+		t.Fatalf("tables %v", tables)
+	}
+}
+
+func TestCanonicalizeBinary(t *testing.T) {
+	union := &Node{Op: OpUnion, Children: []*Node{
+		{Op: OpTableScan, Table: "a"},
+		{Op: OpTableScan, Table: "b"},
+		{Op: OpTableScan, Table: "c"},
+		{Op: OpTableScan, Table: "d"},
+	}}
+	canon := union.Canonicalize()
+	canon.Walk(func(n *Node) {
+		if len(n.Children) > 2 {
+			t.Fatalf("node %v has %d children after canonicalize", n.Op, len(n.Children))
+		}
+	})
+	// All four scans survive.
+	if got := len(canon.Tables()); got != 4 {
+		t.Fatalf("tables after canonicalize: %d", got)
+	}
+	// Original untouched.
+	if len(union.Children) != 4 {
+		t.Fatal("canonicalize mutated the original")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := samplePlan()
+	p.Knobs = []string{"flag:mergeJoin"}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Fingerprint() != p.Root.Fingerprint() {
+		t.Fatal("round-trip changed fingerprint")
+	}
+	if len(back.Knobs) != 1 || back.Knobs[0] != "flag:mergeJoin" {
+		t.Fatalf("knobs lost: %v", back.Knobs)
+	}
+}
+
+func TestIsDefault(t *testing.T) {
+	p := samplePlan()
+	if !p.IsDefault() {
+		t.Fatal("no-knob plan should be default")
+	}
+	p.Knobs = []string{"flag:dopHigh"}
+	if p.IsDefault() {
+		t.Fatal("knobbed plan should not be default")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := samplePlan().String()
+	for _, want := range []string{"Select", "HashAggregate", "HashJoin", "TableScan(p.t1", "Exchange"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpHashJoin.IsJoin() || OpTableScan.IsJoin() {
+		t.Fatal("IsJoin wrong")
+	}
+	if !OpHashAggregate.IsAggregate() || OpSort.IsAggregate() {
+		t.Fatal("IsAggregate wrong")
+	}
+	if !OpExchange.IsExchange() || !OpBroadcastExchange.IsExchange() || OpSpool.IsExchange() {
+		t.Fatal("IsExchange wrong")
+	}
+	if !OpFilter.IsFilterLike() || !OpCalc.IsFilterLike() || OpProject.IsFilterLike() {
+		t.Fatal("IsFilterLike wrong")
+	}
+}
+
+func TestOpNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for op := OpType(1); int(op) <= NumOpTypes; op++ {
+		name := op.String()
+		if name == "" || strings.HasPrefix(name, "Op(") {
+			t.Fatalf("operator %d unnamed", op)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestLogNormBounds(t *testing.T) {
+	if err := quick.Check(func(vRaw, maxRaw uint32) bool {
+		v := float64(vRaw % 100000)
+		maxV := float64(maxRaw%100000) + 1
+		x := LogNorm(v, maxV)
+		return x >= 0 && x <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if LogNorm(-5, 10) != 0 {
+		t.Fatal("negative input should clamp to 0")
+	}
+	if LogNorm(10, 10) != 1 {
+		t.Fatal("v == max should be 1")
+	}
+	if LogNorm(5, 0) != 0 {
+		t.Fatal("max 0 should return 0")
+	}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	p := samplePlan()
+	var ops []OpType
+	p.Root.Walk(func(n *Node) { ops = append(ops, n.Op) })
+	if ops[0] != OpSelect || ops[1] != OpHashAggregate {
+		t.Fatalf("walk order %v", ops)
+	}
+	if len(ops) != p.Root.Size() {
+		t.Fatalf("walk visited %d of %d", len(ops), p.Root.Size())
+	}
+}

@@ -1,0 +1,397 @@
+// Package predictor implements LOAM's adaptive cost predictor (§4, Fig. 3):
+// a plan-embedding backbone (PlanEmb), a cost prediction head (CostPred),
+// and a domain classifier (DomClf) behind a gradient reversal layer, trained
+// jointly with the Eq.-(1) loss so the embedding is both discriminative for
+// cost and invariant between historically executed default plans and
+// knob-tuned candidate plans — eliminating conventional refinement
+// (Challenge C3).
+package predictor
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"loam/internal/encoding"
+	"loam/internal/nn"
+	"loam/internal/plan"
+	"loam/internal/simrand"
+	"loam/internal/xgb"
+)
+
+// Sample is one training example: a historically executed default plan with
+// its logged per-node execution environment and observed CPU cost.
+type Sample struct {
+	Plan *plan.Plan
+	Envs encoding.EnvSource
+	Cost float64
+}
+
+// Config are the predictor hyperparameters. Defaults follow the paper's
+// setup (initial LR 0.01, 0.99 exponential decay; no per-project tuning).
+type Config struct {
+	Kind   Kind
+	Hidden int
+	EmbDim int
+	Layers int
+	Epochs int
+	LR     float64
+	// LRDecay is the per-epoch exponential decay factor.
+	LRDecay float64
+	// Adapt enables the domain-adversarial training; false yields LOAM-NA.
+	Adapt bool
+	// UseEnv includes execution-environment features; false yields LOAM-NL.
+	UseEnv bool
+	// BatchDefault and BatchCandidate size each mini-batch's two domains.
+	BatchDefault   int
+	BatchCandidate int
+	Seed           uint64
+}
+
+// DefaultConfig returns the LOAM defaults.
+func DefaultConfig() Config {
+	return Config{
+		Kind:           KindTCN,
+		Hidden:         32,
+		EmbDim:         24,
+		Layers:         3,
+		Epochs:         12,
+		LR:             0.003,
+		LRDecay:        0.99,
+		Adapt:          true,
+		UseEnv:         true,
+		BatchDefault:   16,
+		BatchCandidate: 6,
+		Seed:           7,
+	}
+}
+
+// Metrics reports training cost and footprint (§7.2.1, Fig. 9).
+type Metrics struct {
+	TrainSeconds  float64
+	ModelBytes    int
+	Epochs        int
+	FinalCostLoss float64
+	FinalDomLoss  float64
+}
+
+// Predictor is a trained adaptive cost predictor.
+type Predictor struct {
+	cfg    Config
+	enc    *encoding.Encoder
+	encCfg encoding.Config
+
+	bb       backbone
+	costHead *nn.Linear
+	domHid   *nn.Linear
+	domOut   *nn.Linear
+	lambda   float64
+
+	xgbModel *xgb.Model
+
+	// Label normalization: y = (ln cost − muY)/sigmaY.
+	muY, sigmaY float64
+	// trainMeanEnv is the expected machine-level environment observed across
+	// training plans — the §5 representative instance e_r.
+	trainMeanEnv [4]float64
+
+	metrics Metrics
+}
+
+// ErrNoTrainingData is returned when the training set is empty.
+var ErrNoTrainingData = errors.New("predictor: no training data")
+
+// Train fits the predictor. candPlans is a small set of *unexecuted*
+// candidate plans used purely for domain alignment — they carry no cost
+// labels (§4, Adaptive Training Paradigm). It may be empty when cfg.Adapt is
+// false.
+func Train(cfg Config, enc *encoding.Encoder, train []Sample, candPlans []*plan.Plan) (*Predictor, error) {
+	if len(train) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	start := time.Now()
+	p := &Predictor{cfg: cfg, enc: enc, encCfg: enc.Config()}
+	p.fitNormalization(train)
+	p.fitMeanEnv(train)
+
+	if cfg.Kind == KindXGBoost {
+		if err := p.trainXGB(train); err != nil {
+			return nil, err
+		}
+		p.metrics.TrainSeconds = time.Since(start).Seconds()
+		p.metrics.ModelBytes = p.xgbModel.SizeBytes()
+		return p, nil
+	}
+
+	rng := simrand.New(cfg.Seed)
+	switch cfg.Kind {
+	case KindTransformer:
+		p.bb = newTransformer(rng, enc, cfg.Hidden, 2, cfg.EmbDim)
+	case KindGCN:
+		p.bb = newGCN(rng, enc, cfg.Hidden, cfg.Layers, cfg.EmbDim)
+	default:
+		p.bb = newTCN(rng, enc, cfg.Hidden, cfg.Layers, cfg.EmbDim)
+	}
+	p.costHead = nn.NewLinear(rng.Derive("cost"), cfg.EmbDim, 1)
+	p.domHid = nn.NewLinear(rng.Derive("domHid"), cfg.EmbDim, cfg.Hidden)
+	p.domOut = nn.NewLinear(rng.Derive("domOut"), cfg.Hidden, 2)
+
+	params := append(p.bb.params(), p.costHead.Params()...)
+	params = append(params, p.domHid.Params()...)
+	params = append(params, p.domOut.Params()...)
+	opt := nn.NewAdam(params, cfg.LR)
+
+	p.trainLoop(rng, opt, train, candPlans)
+
+	p.metrics.TrainSeconds = time.Since(start).Seconds()
+	p.metrics.ModelBytes = nn.ParamBytes(params)
+	p.metrics.Epochs = cfg.Epochs
+	return p, nil
+}
+
+func (p *Predictor) trainLoop(rng *simrand.RNG, opt *nn.Adam, train []Sample, candPlans []*plan.Plan) {
+	cfg := p.cfg
+	adapt := cfg.Adapt && len(candPlans) > 0
+	bd := cfg.BatchDefault
+	if bd <= 0 {
+		bd = 16
+	}
+	bc := cfg.BatchCandidate
+	if bc <= 0 {
+		bc = 6
+	}
+	candEnv := encoding.FixedEnv(p.trainMeanEnv)
+	if !cfg.UseEnv {
+		candEnv = encoding.NoEnv()
+	}
+
+	// EMA-based automatic loss-weight balancing (wc, wd of Eq. 1).
+	emaCost, emaDom := 1.0, 1.0
+	const emaBeta = 0.9
+
+	steps := (len(train) + bd - 1) / bd
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// GRL schedule from Ganin & Lempitsky: λ = 2/(1+e^{-10p}) − 1.
+		prog := float64(epoch) / math.Max(1, float64(cfg.Epochs-1))
+		p.lambda = 2/(1+math.Exp(-10*prog)) - 1
+
+		order := rng.Perm(len(train))
+		for s := 0; s < steps; s++ {
+			lo := s * bd
+			hi := lo + bd
+			if hi > len(train) {
+				hi = len(train)
+			}
+			batch := order[lo:hi]
+
+			embDefs := make([]*nn.Tensor, 0, len(batch))
+			targets := make([]float64, 0, len(batch))
+			for _, i := range batch {
+				sm := train[i]
+				envs := sm.Envs
+				if !cfg.UseEnv {
+					envs = encoding.NoEnv()
+				}
+				embDefs = append(embDefs, p.bb.embed(sm.Plan, envs))
+				targets = append(targets, p.normalize(sm.Cost))
+			}
+			embDef := nn.ConcatRows(embDefs...)
+			costLoss := nn.MSE(p.costHead.Forward(embDef), targets)
+
+			var loss *nn.Tensor
+			var domLossVal float64
+			if adapt {
+				embCands := make([]*nn.Tensor, 0, bc)
+				labels := make([]int, 0, len(batch)+bc)
+				for range batch {
+					labels = append(labels, 0)
+				}
+				for j := 0; j < bc; j++ {
+					cp := candPlans[rng.Intn(len(candPlans))]
+					embCands = append(embCands, p.bb.embed(cp, candEnv))
+					labels = append(labels, 1)
+				}
+				embAll := nn.ConcatRows(append(append([]*nn.Tensor{}, embDefs...), embCands...)...)
+				domLogits := p.domOut.Forward(nn.ReLU(p.domHid.Forward(nn.GRL(embAll, &p.lambda))))
+				domLoss := nn.CrossEntropy(domLogits, labels)
+				domLossVal = domLoss.Data[0]
+
+				emaCost = emaBeta*emaCost + (1-emaBeta)*costLoss.Data[0]
+				emaDom = emaBeta*emaDom + (1-emaBeta)*domLossVal
+				wd := 0.0
+				if emaDom > 1e-9 {
+					wd = 0.5 * emaCost / emaDom
+				}
+				loss = nn.AddScalarLoss([]float64{1, wd}, costLoss, domLoss)
+			} else {
+				loss = costLoss
+			}
+
+			opt.ZeroGrad()
+			loss.Backward()
+			opt.Step()
+
+			p.metrics.FinalCostLoss = costLoss.Data[0]
+			p.metrics.FinalDomLoss = domLossVal
+		}
+		opt.DecayLR(cfg.LRDecay)
+	}
+}
+
+func (p *Predictor) trainXGB(train []Sample) error {
+	x := make([][]float64, len(train))
+	y := make([]float64, len(train))
+	for i, sm := range train {
+		envs := sm.Envs
+		if !p.cfg.UseEnv {
+			envs = encoding.NoEnv()
+		}
+		x[i] = p.enc.EncodeFlat(sm.Plan, envs)
+		y[i] = p.normalize(sm.Cost)
+	}
+	p.xgbModel = xgb.Train(xgb.DefaultConfig(), x, y)
+	return nil
+}
+
+func (p *Predictor) fitNormalization(train []Sample) {
+	n := float64(len(train))
+	mu := 0.0
+	for _, sm := range train {
+		mu += safeLog(sm.Cost)
+	}
+	mu /= n
+	v := 0.0
+	for _, sm := range train {
+		d := safeLog(sm.Cost) - mu
+		v += d * d
+	}
+	p.muY = mu
+	p.sigmaY = math.Sqrt(v/n) + 1e-6
+}
+
+func (p *Predictor) fitMeanEnv(train []Sample) {
+	var sum [4]float64
+	count := 0.0
+	for _, sm := range train {
+		sm.Plan.Root.Walk(func(n *plan.Node) {
+			env, ok := sm.Envs(n)
+			if !ok {
+				return
+			}
+			for i := range sum {
+				sum[i] += env[i]
+			}
+			count++
+		})
+	}
+	if count > 0 {
+		for i := range sum {
+			p.trainMeanEnv[i] = sum[i] / count
+		}
+	}
+}
+
+func (p *Predictor) normalize(cost float64) float64 {
+	return (safeLog(cost) - p.muY) / p.sigmaY
+}
+
+func (p *Predictor) denormalize(y float64) float64 {
+	return math.Exp(y*p.sigmaY + p.muY)
+}
+
+func safeLog(v float64) float64 {
+	if v < 1e-9 {
+		v = 1e-9
+	}
+	return math.Log(v)
+}
+
+// Metrics returns training cost/footprint measurements.
+func (p *Predictor) Metrics() Metrics { return p.metrics }
+
+// TrainMeanEnv returns the representative environment instance e_r (§5):
+// per-feature means observed across training plans.
+func (p *Predictor) TrainMeanEnv() [4]float64 { return p.trainMeanEnv }
+
+// PredictCost estimates a plan's CPU cost under the given environment
+// source.
+func (p *Predictor) PredictCost(pl *plan.Plan, envs encoding.EnvSource) float64 {
+	if !p.cfg.UseEnv {
+		envs = encoding.NoEnv()
+	}
+	if p.cfg.Kind == KindXGBoost {
+		return p.denormalize(p.xgbModel.Predict(p.enc.EncodeFlat(pl, envs)))
+	}
+	emb := p.bb.embed(pl, envs)
+	out := p.costHead.Forward(emb)
+	return p.denormalize(out.Data[0])
+}
+
+// Strategy selects how environment features are set at inference time, when
+// the execution environment is unobservable (§5).
+type Strategy int
+
+// Inference strategies of §7.2.5.
+const (
+	// StrategyMeanEnv predicts under the representative average-case
+	// machine-level environment from training history (LOAM).
+	StrategyMeanEnv Strategy = iota + 1
+	// StrategyClusterExpected uses expected cluster-wide conditions fitted
+	// over the past 24 h (LOAM-CE).
+	StrategyClusterExpected
+	// StrategyClusterCurrent uses the cluster-wide conditions at the moment
+	// of optimization (LOAM-CB).
+	StrategyClusterCurrent
+	// StrategyNoEnv supplies no environment features (LOAM-NL; only
+	// meaningful for predictors trained with UseEnv=false).
+	StrategyNoEnv
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyMeanEnv:
+		return "LOAM"
+	case StrategyClusterExpected:
+		return "LOAM-CE"
+	case StrategyClusterCurrent:
+		return "LOAM-CB"
+	case StrategyNoEnv:
+		return "LOAM-NL"
+	default:
+		return "Unknown"
+	}
+}
+
+// EnvSourceFor materializes a strategy into an EnvSource. clusterExpected
+// and clusterCurrent carry the cluster-side observations the CE/CB variants
+// rely on; they are ignored by the other strategies.
+func (p *Predictor) EnvSourceFor(s Strategy, clusterExpected, clusterCurrent [4]float64) encoding.EnvSource {
+	switch s {
+	case StrategyClusterExpected:
+		return encoding.FixedEnv(clusterExpected)
+	case StrategyClusterCurrent:
+		return encoding.FixedEnv(clusterCurrent)
+	case StrategyNoEnv:
+		return encoding.NoEnv()
+	default:
+		return encoding.FixedEnv(p.trainMeanEnv)
+	}
+}
+
+// SelectPlan returns the candidate with the lowest estimated cost, along
+// with all estimates. Candidates must be non-empty.
+func (p *Predictor) SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (best *plan.Plan, costs []float64) {
+	costs = make([]float64, len(cands))
+	bestIdx := 0
+	for i, c := range cands {
+		costs[i] = p.PredictCost(c, envs)
+		if costs[i] < costs[bestIdx] {
+			bestIdx = i
+		}
+	}
+	if len(cands) > 0 {
+		best = cands[bestIdx]
+	}
+	return best, costs
+}

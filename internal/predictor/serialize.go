@@ -1,0 +1,121 @@
+package predictor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"loam/internal/encoding"
+	"loam/internal/nn"
+	"loam/internal/simrand"
+	"loam/internal/xgb"
+)
+
+// snapshot is the serialized form of a trained predictor. Neural weights are
+// stored as a flat list in the architecture's deterministic parameter order;
+// Load rebuilds the architecture from Config and overwrites the weights.
+type snapshot struct {
+	Version int             `json:"version"`
+	Config  Config          `json:"config"`
+	Encoder encoding.Config `json:"encoder"`
+	MuY     float64         `json:"muY"`
+	SigmaY  float64         `json:"sigmaY"`
+	MeanEnv [4]float64      `json:"meanEnv"`
+	Metrics Metrics         `json:"metrics"`
+	// Params holds every trainable tensor's data in construction order
+	// (neural kinds only).
+	Params [][]float64 `json:"params,omitempty"`
+	// XGB holds the serialized booster (XGBoost kind only).
+	XGB json.RawMessage `json:"xgb,omitempty"`
+}
+
+const snapshotVersion = 1
+
+// allParams returns the predictor's trainable tensors in a deterministic
+// order (backbone, cost head, domain classifier).
+func (p *Predictor) allParams() []*nn.Tensor {
+	params := append([]*nn.Tensor{}, p.bb.params()...)
+	params = append(params, p.costHead.Params()...)
+	params = append(params, p.domHid.Params()...)
+	params = append(params, p.domOut.Params()...)
+	return params
+}
+
+// Save serializes the trained predictor to w as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Config:  p.cfg,
+		Encoder: p.encCfg,
+		MuY:     p.muY,
+		SigmaY:  p.sigmaY,
+		MeanEnv: p.trainMeanEnv,
+		Metrics: p.metrics,
+	}
+	if p.cfg.Kind == KindXGBoost {
+		data, err := json.Marshal(p.xgbModel)
+		if err != nil {
+			return fmt.Errorf("marshal booster: %w", err)
+		}
+		snap.XGB = data
+	} else {
+		for _, t := range p.allParams() {
+			snap.Params = append(snap.Params, append([]float64(nil), t.Data...))
+		}
+	}
+	return json.NewEncoder(w).Encode(snap)
+}
+
+// Load restores a predictor saved with Save. The returned predictor serves
+// predictions exactly as the original did.
+func Load(r io.Reader) (*Predictor, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("unsupported snapshot version %d", snap.Version)
+	}
+	p := &Predictor{
+		cfg:          snap.Config,
+		enc:          encoding.NewEncoder(snap.Encoder),
+		encCfg:       snap.Encoder,
+		muY:          snap.MuY,
+		sigmaY:       snap.SigmaY,
+		trainMeanEnv: snap.MeanEnv,
+		metrics:      snap.Metrics,
+	}
+	if snap.Config.Kind == KindXGBoost {
+		p.xgbModel = &xgb.Model{}
+		if err := json.Unmarshal(snap.XGB, p.xgbModel); err != nil {
+			return nil, fmt.Errorf("unmarshal booster: %w", err)
+		}
+		return p, nil
+	}
+
+	// Rebuild the architecture, then overwrite the weights.
+	rng := simrand.New(snap.Config.Seed)
+	switch snap.Config.Kind {
+	case KindTransformer:
+		p.bb = newTransformer(rng, p.enc, snap.Config.Hidden, 2, snap.Config.EmbDim)
+	case KindGCN:
+		p.bb = newGCN(rng, p.enc, snap.Config.Hidden, snap.Config.Layers, snap.Config.EmbDim)
+	default:
+		p.bb = newTCN(rng, p.enc, snap.Config.Hidden, snap.Config.Layers, snap.Config.EmbDim)
+	}
+	p.costHead = nn.NewLinear(rng.Derive("cost"), snap.Config.EmbDim, 1)
+	p.domHid = nn.NewLinear(rng.Derive("domHid"), snap.Config.EmbDim, snap.Config.Hidden)
+	p.domOut = nn.NewLinear(rng.Derive("domOut"), snap.Config.Hidden, 2)
+
+	params := p.allParams()
+	if len(params) != len(snap.Params) {
+		return nil, fmt.Errorf("snapshot has %d tensors, architecture needs %d", len(snap.Params), len(params))
+	}
+	for i, t := range params {
+		if len(t.Data) != len(snap.Params[i]) {
+			return nil, fmt.Errorf("tensor %d size mismatch: %d vs %d", i, len(snap.Params[i]), len(t.Data))
+		}
+		copy(t.Data, snap.Params[i])
+	}
+	return p, nil
+}

@@ -1,0 +1,70 @@
+package predictor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"loam/internal/encoding"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, cands := synthetic(100, 21)
+	for _, kind := range []Kind{KindTCN, KindTransformer, KindGCN, KindXGBoost} {
+		orig, err := Train(tinyConfig(kind), enc, samples, cands)
+		if err != nil {
+			t.Fatalf("%v train: %v", kind, err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%v save: %v", kind, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%v load: %v", kind, err)
+		}
+		envs := encoding.FixedEnv(orig.TrainMeanEnv())
+		for i := 0; i < 10; i++ {
+			want := orig.PredictCost(samples[i].Plan, envs)
+			got := loaded.PredictCost(samples[i].Plan, envs)
+			if want != got {
+				t.Fatalf("%v: prediction changed after round trip: %g vs %g", kind, want, got)
+			}
+		}
+		if loaded.TrainMeanEnv() != orig.TrainMeanEnv() {
+			t.Fatalf("%v: mean env lost", kind)
+		}
+		if loaded.Metrics().ModelBytes != orig.Metrics().ModelBytes {
+			t.Fatalf("%v: metrics lost", kind)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong version should fail")
+	}
+}
+
+func TestLoadRejectsTamperedParams(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 22)
+	orig, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the parameter list.
+	s := buf.String()
+	s = strings.Replace(s, `"params":[[`, `"params":[[9],[`, 1)
+	if _, err := Load(strings.NewReader(s)); err == nil {
+		t.Fatal("mismatched tensor shapes should fail")
+	}
+}

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"testing"
+
+	"loam/internal/expr"
+	"loam/internal/plan"
+)
+
+func TestInputDefault(t *testing.T) {
+	q := &Query{Inputs: map[string]*TableInput{}}
+	in := q.Input("missing")
+	if in.PartitionFrac != 1 || in.ColumnsAccessed != 1 {
+		t.Fatalf("default input %+v", in)
+	}
+	q.Inputs["t"] = &TableInput{PartitionFrac: 0.5, ColumnsAccessed: 3}
+	if got := q.Input("t"); got.PartitionFrac != 0.5 {
+		t.Fatal("known input not returned")
+	}
+}
+
+func TestFullPred(t *testing.T) {
+	col := expr.ColumnRef{Table: "t", Column: "c"}
+	in := &TableInput{
+		Pred:     expr.Compare(expr.FuncEQ, col, 1),
+		HardPred: expr.Compare(expr.FuncLike, col, 2),
+	}
+	full := in.FullPred()
+	if full.Fn != expr.FuncAnd || len(full.Children) != 2 {
+		t.Fatalf("full pred %v", full)
+	}
+	// Mutating the result must not touch the originals.
+	full.Children[0].Args[0] = 99
+	if in.Pred.Args[0] != 1 {
+		t.Fatal("FullPred aliases Pred")
+	}
+	// Partial cases.
+	onlySoft := &TableInput{Pred: expr.Compare(expr.FuncEQ, col, 1)}
+	if onlySoft.FullPred().Fn != expr.FuncEQ {
+		t.Fatal("single pred should unwrap")
+	}
+	if (&TableInput{}).FullPred() != nil {
+		t.Fatal("empty pred should be nil")
+	}
+}
+
+func TestJoinsOf(t *testing.T) {
+	q := &Query{
+		Tables: []string{"a", "b", "c"},
+		Joins: []JoinEdge{
+			{LeftTable: "a", RightTable: "b", Form: plan.JoinInner},
+			{LeftTable: "b", RightTable: "c", Form: plan.JoinInner},
+		},
+	}
+	if got := len(q.JoinsOf("b")); got != 2 {
+		t.Fatalf("joins of b: %d", got)
+	}
+	if got := len(q.JoinsOf("a")); got != 1 {
+		t.Fatalf("joins of a: %d", got)
+	}
+	if q.NumTables() != 3 {
+		t.Fatal("num tables")
+	}
+}

@@ -1,0 +1,128 @@
+// Package ranking provides the ranking-quality metrics used to evaluate the
+// project-selection Ranker (§7.2.6): Recall@(k,n) and NDCG@k, plus the
+// closed-form expectations of a uniformly random ranking (App. E.2).
+package ranking
+
+import "math"
+
+// RecallAtKN returns the fraction of the n ground-truth items (those with
+// the highest relevance) that appear in the top k of the predicted ranking.
+// predicted is an ordering of item indices; rel[i] is item i's relevance.
+func RecallAtKN(predicted []int, rel []float64, k, n int) float64 {
+	if n <= 0 || len(predicted) == 0 {
+		return 0
+	}
+	if n > len(rel) {
+		n = len(rel)
+	}
+	truth := topNSet(rel, n)
+	if k > len(predicted) {
+		k = len(predicted)
+	}
+	hit := 0
+	for _, idx := range predicted[:k] {
+		if truth[idx] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(n)
+}
+
+// topNSet returns the indices of the n largest relevances (ties broken by
+// lower index).
+func topNSet(rel []float64, n int) map[int]bool {
+	out := make(map[int]bool, n)
+	taken := make([]bool, len(rel))
+	for c := 0; c < n && c < len(rel); c++ {
+		best := -1
+		for i, r := range rel {
+			if taken[i] {
+				continue
+			}
+			if best < 0 || r > rel[best] {
+				best = i
+			}
+		}
+		taken[best] = true
+		out[best] = true
+	}
+	return out
+}
+
+// DCGAtK computes Σ_{i≤k} (2^{rel_i}−1)/log2(i+1) over the predicted order.
+func DCGAtK(predicted []int, rel []float64, k int) float64 {
+	if k > len(predicted) {
+		k = len(predicted)
+	}
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += (math.Exp2(rel[predicted[i]]) - 1) / math.Log2(float64(i)+2)
+	}
+	return total
+}
+
+// IdealOrder returns item indices sorted by descending relevance.
+func IdealOrder(rel []float64) []int {
+	out := make([]int, len(rel))
+	for i := range out {
+		out[i] = i
+	}
+	// Simple selection sort keeps determinism on ties.
+	for i := 0; i < len(out); i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if rel[out[j]] > rel[out[best]] {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out
+}
+
+// NDCGAtK normalizes DCG@k by the ideal ranking's DCG@k.
+func NDCGAtK(predicted []int, rel []float64, k int) float64 {
+	ideal := DCGAtK(IdealOrder(rel), rel, k)
+	if ideal <= 0 {
+		return 0
+	}
+	return DCGAtK(predicted, rel, k) / ideal
+}
+
+// ExpectedRandomRecall returns E[Recall@(k,n)] = k/N for a uniformly random
+// permutation of N items (App. E.2).
+func ExpectedRandomRecall(k, totalItems int) float64 {
+	if totalItems <= 0 {
+		return 0
+	}
+	if k > totalItems {
+		k = totalItems
+	}
+	return float64(k) / float64(totalItems)
+}
+
+// ExpectedRandomNDCG returns E[NDCG@k] for a uniformly random permutation:
+// E[DCG@k] = Σ_{i≤k} (mean gain)/log2(i+1) divided by IDCG@k (App. E.2).
+func ExpectedRandomNDCG(rel []float64, k int) float64 {
+	n := len(rel)
+	if n == 0 {
+		return 0
+	}
+	meanGain := 0.0
+	for _, r := range rel {
+		meanGain += math.Exp2(r) - 1
+	}
+	meanGain /= float64(n)
+	if k > n {
+		k = n
+	}
+	expDCG := 0.0
+	for i := 0; i < k; i++ {
+		expDCG += meanGain / math.Log2(float64(i)+2)
+	}
+	ideal := DCGAtK(IdealOrder(rel), rel, k)
+	if ideal <= 0 {
+		return 0
+	}
+	return expDCG / ideal
+}

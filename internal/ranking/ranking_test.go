@@ -1,0 +1,146 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loam/internal/simrand"
+)
+
+func TestRecallHandCases(t *testing.T) {
+	rel := []float64{0.9, 0.1, 0.8, 0.2, 0.5} // truth top-2 = {0, 2}
+	perfect := []int{0, 2, 4, 3, 1}
+	if got := RecallAtKN(perfect, rel, 2, 2); got != 1 {
+		t.Fatalf("perfect recall %g", got)
+	}
+	bad := []int{1, 3, 4, 0, 2}
+	if got := RecallAtKN(bad, rel, 2, 2); got != 0 {
+		t.Fatalf("bad recall %g", got)
+	}
+	half := []int{0, 1, 2, 3, 4}
+	if got := RecallAtKN(half, rel, 2, 2); got != 0.5 {
+		t.Fatalf("half recall %g", got)
+	}
+}
+
+func TestRecallEdgeCases(t *testing.T) {
+	rel := []float64{1, 2}
+	if RecallAtKN(nil, rel, 1, 1) != 0 {
+		t.Fatal("empty prediction recall")
+	}
+	if RecallAtKN([]int{0, 1}, rel, 1, 0) != 0 {
+		t.Fatal("n=0 recall")
+	}
+	// k beyond list length clamps.
+	if got := RecallAtKN([]int{1, 0}, rel, 10, 2); got != 1 {
+		t.Fatalf("clamped recall %g", got)
+	}
+}
+
+func TestIdealOrder(t *testing.T) {
+	rel := []float64{0.2, 0.9, 0.5}
+	order := IdealOrder(rel)
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("ideal order %v", order)
+	}
+}
+
+func TestNDCGPerfectIsOne(t *testing.T) {
+	rel := []float64{0.3, 0.9, 0.1, 0.7}
+	ideal := IdealOrder(rel)
+	for k := 1; k <= 4; k++ {
+		if got := NDCGAtK(ideal, rel, k); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("perfect NDCG@%d = %g", k, got)
+		}
+	}
+}
+
+func TestNDCGWorstBelowOne(t *testing.T) {
+	rel := []float64{0.1, 0.9}
+	worst := []int{0, 1}
+	if got := NDCGAtK(worst, rel, 1); got >= 1 {
+		t.Fatalf("worst NDCG@1 = %g", got)
+	}
+}
+
+func TestNDCGBoundsProperty(t *testing.T) {
+	rng := simrand.New(3)
+	if err := quick.Check(func(seed uint16, kRaw uint8) bool {
+		r := rng.DeriveN("case", int(seed))
+		n := 2 + r.Intn(10)
+		rel := make([]float64, n)
+		for i := range rel {
+			rel[i] = r.Uniform(0, 1)
+		}
+		perm := r.Perm(n)
+		k := 1 + int(kRaw)%n
+		v := NDCGAtK(perm, rel, k)
+		return v >= 0 && v <= 1+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedRandomRecallFormula(t *testing.T) {
+	if got := ExpectedRandomRecall(3, 15); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("E[recall] %g", got)
+	}
+	if ExpectedRandomRecall(20, 15) != 1 {
+		t.Fatal("clamped expected recall")
+	}
+	if ExpectedRandomRecall(3, 0) != 0 {
+		t.Fatal("zero items")
+	}
+}
+
+func TestExpectedRandomRecallMatchesSimulation(t *testing.T) {
+	rng := simrand.New(4)
+	n, k := 12, 4
+	rel := make([]float64, n)
+	for i := range rel {
+		rel[i] = rng.Uniform(0, 1)
+	}
+	trials := 20000
+	total := 0.0
+	for s := 0; s < trials; s++ {
+		perm := rng.Perm(n)
+		total += RecallAtKN(perm, rel, k, k)
+	}
+	sim := total / float64(trials)
+	expect := ExpectedRandomRecall(k, n)
+	if math.Abs(sim-expect) > 0.01 {
+		t.Fatalf("simulated %g vs closed form %g", sim, expect)
+	}
+}
+
+func TestExpectedRandomNDCGMatchesSimulation(t *testing.T) {
+	rng := simrand.New(5)
+	n, k := 10, 3
+	rel := make([]float64, n)
+	for i := range rel {
+		rel[i] = rng.Uniform(0, 1)
+	}
+	trials := 20000
+	total := 0.0
+	for s := 0; s < trials; s++ {
+		perm := rng.Perm(n)
+		total += NDCGAtK(perm, rel, k)
+	}
+	sim := total / float64(trials)
+	expect := ExpectedRandomNDCG(rel, k)
+	if math.Abs(sim-expect) > 0.01 {
+		t.Fatalf("simulated %g vs closed form %g", sim, expect)
+	}
+}
+
+func TestDCGPositionDiscount(t *testing.T) {
+	rel := []float64{1, 1}
+	// Same gains: DCG@2 must discount the second position.
+	d := DCGAtK([]int{0, 1}, rel, 2)
+	gain := math.Exp2(1) - 1
+	want := gain + gain/math.Log2(3)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("DCG %g, want %g", d, want)
+	}
+}

@@ -1,0 +1,181 @@
+// Package simrand provides deterministic, seed-derivable random number
+// generation for the simulator. Every stochastic component in the repository
+// draws from a *RNG obtained either directly from a seed or derived from a
+// parent stream by name, so that whole-system runs are reproducible from a
+// single root seed.
+package simrand
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// splitmix64 is a tiny, well-distributed PRNG used as a rand.Source64. It is
+// implemented locally (rather than relying on math/rand's default source) so
+// the stream is stable regardless of Go release.
+type splitmix64 struct {
+	state uint64
+}
+
+var _ rand.Source64 = (*splitmix64)(nil)
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+func (s *splitmix64) Seed(seed int64) {
+	s.state = uint64(seed)
+}
+
+// RNG is a deterministic random number generator. It wraps math/rand.Rand
+// over a locally implemented source and records its seed so substreams can be
+// derived by name.
+type RNG struct {
+	seed uint64
+	r    *rand.Rand
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{seed: seed, r: rand.New(&splitmix64{state: seed})}
+}
+
+// Derive returns a new RNG whose seed is a deterministic function of the
+// parent seed and the given name. Independent subsystems should each derive
+// their own stream so that adding draws to one subsystem does not perturb
+// another.
+func (g *RNG) Derive(name string) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], g.seed)
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	return New(h.Sum64())
+}
+
+// DeriveN derives a substream keyed by both a name and an index.
+func (g *RNG) DeriveN(name string, n int) *RNG {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], g.seed)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(n))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	return New(h.Sum64())
+}
+
+// Seed returns the seed the stream was created with.
+func (g *RNG) Seed() uint64 { return g.seed }
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0,n). n must be > 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n returns a uniform value in [0,n). n must be > 0.
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma^2)); mu and sigma are the parameters of
+// the underlying normal, not the moments of the log-normal itself.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*g.r.NormFloat64())
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Zipf returns a sampler over {0, ..., n-1} with Zipf exponent s > 1 is not
+// required; s may be any value > 0. The implementation precomputes the CDF,
+// which is fine for the catalog-sized domains used in the simulator.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler with exponent s over n ranks.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw samples a rank in [0, N).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Pareto returns a Pareto(xm, alpha) variate: heavy-tailed sizes for tables.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}

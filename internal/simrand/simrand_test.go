@@ -1,0 +1,198 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions across different seeds", same)
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Derive("alpha")
+	b := root.Derive("beta")
+	if a.Seed() == b.Seed() {
+		t.Fatal("derived seeds equal")
+	}
+	// Deriving is insensitive to draws on the parent.
+	root2 := New(7)
+	root2.Float64()
+	if root2.Derive("alpha").Seed() != a.Seed() {
+		t.Fatal("derivation depends on parent draw position")
+	}
+}
+
+func TestDeriveNDistinct(t *testing.T) {
+	root := New(9)
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		s := root.DeriveN("x", i).Seed()
+		if seen[s] {
+			t.Fatalf("duplicate derived seed at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	rng := New(3)
+	if err := quick.Check(func(loRaw, span uint16) bool {
+		lo := float64(loRaw) / 100
+		hi := lo + float64(span)/100 + 0.01
+		v := rng.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	rng := New(4)
+	for i := 0; i < 1000; i++ {
+		if v := rng.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := New(5)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.1 {
+		t.Fatalf("mean %g", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Fatalf("std %g", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalPositiveAndMean(t *testing.T) {
+	rng := New(6)
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := rng.LogNormal(0, 0.5)
+		if v <= 0 {
+			t.Fatal("non-positive log-normal draw")
+		}
+		sum += v
+	}
+	want := math.Exp(0.5 * 0.5 / 2)
+	if got := sum / float64(n); math.Abs(got-want) > 0.05 {
+		t.Fatalf("mean %g, want %g", got, want)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	rng := New(7)
+	hits := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if rng.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / float64(n); math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) rate %g", p)
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	rng := New(8)
+	for _, s := range []float64{0, 0.5, 1, 2} {
+		z := NewZipf(rng, s, 50)
+		total := 0.0
+		for i := 0; i < z.N(); i++ {
+			total += z.Prob(i)
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("s=%g pmf sums to %g", s, total)
+		}
+	}
+}
+
+func TestZipfSkewOrdersMass(t *testing.T) {
+	rng := New(9)
+	z := NewZipf(rng, 1.2, 20)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("pmf not non-increasing at %d", i)
+		}
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	rng := New(10)
+	z := NewZipf(rng, 1.0, 9)
+	for i := 0; i < 1000; i++ {
+		if v := z.Draw(); v < 0 || v >= 9 {
+			t.Fatalf("draw %d out of range", v)
+		}
+	}
+}
+
+func TestZipfDrawMatchesPMF(t *testing.T) {
+	rng := New(11)
+	z := NewZipf(rng, 1.0, 5)
+	counts := make([]int, 5)
+	n := 50000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i := 0; i < 5; i++ {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-z.Prob(i)) > 0.01 {
+			t.Fatalf("rank %d freq %g, pmf %g", i, got, z.Prob(i))
+		}
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	rng := New(12)
+	for i := 0; i < 1000; i++ {
+		if v := rng.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below xm: %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := New(13)
+	p := rng.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}

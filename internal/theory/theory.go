@@ -1,0 +1,334 @@
+// Package theory implements the probabilistic framework of §5 and
+// Appendices C and E.1: log-normal modeling of plan execution costs (MLE
+// fitting, Kolmogorov–Smirnov validation), the distribution of the minimum
+// cost across candidate plans (Lemma 1), the expected deviance of a plan
+// selection from the oracle choice (Eq. 2), and Monte-Carlo counterparts
+// used to verify Theorem 1 empirically.
+package theory
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"loam/internal/simrand"
+)
+
+// LogNormal is a log-normal distribution with underlying normal parameters
+// Mu and Sigma.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// ErrNoSamples is returned when fitting is attempted on an empty sample.
+var ErrNoSamples = errors.New("theory: no samples")
+
+// FitLogNormal fits a log-normal by maximum likelihood: Mu and Sigma are the
+// mean and standard deviation of the log samples (App. E.1, parameter
+// estimation).
+func FitLogNormal(samples []float64) (LogNormal, error) {
+	if len(samples) == 0 {
+		return LogNormal{}, ErrNoSamples
+	}
+	n := float64(len(samples))
+	mu := 0.0
+	for _, s := range samples {
+		mu += math.Log(math.Max(s, 1e-12))
+	}
+	mu /= n
+	v := 0.0
+	for _, s := range samples {
+		d := math.Log(math.Max(s, 1e-12)) - mu
+		v += d * d
+	}
+	sigma := math.Sqrt(v / n)
+	if sigma < 1e-9 {
+		sigma = 1e-9
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+
+// PDF returns the density at x.
+func (d LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - d.Mu) / d.Sigma
+	return math.Exp(-z*z/2) / (x * d.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (d LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return normCDF((math.Log(x) - d.Mu) / d.Sigma)
+}
+
+// Mean returns E[X] = exp(Mu + Sigma^2/2).
+func (d LogNormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// Quantile returns the p-quantile (0 < p < 1) via bisection on the CDF.
+func (d LogNormal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		p = 1 - 1e-12
+	}
+	// Invert the normal quantile by bisection on z.
+	lo, hi := -12.0, 12.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if normCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Exp(d.Mu + d.Sigma*(lo+hi)/2)
+}
+
+// PartialExpectation returns E[X · 1{X > y}] in closed form.
+func (d LogNormal) PartialExpectation(y float64) float64 {
+	if y <= 0 {
+		return d.Mean()
+	}
+	z := (d.Mu + d.Sigma*d.Sigma - math.Log(y)) / d.Sigma
+	return d.Mean() * normCDF(z)
+}
+
+// Sample draws one variate.
+func (d LogNormal) Sample(rng *simrand.RNG) float64 {
+	return rng.LogNormal(d.Mu, d.Sigma)
+}
+
+// KSTest computes the Kolmogorov–Smirnov statistic of samples against the
+// distribution and the asymptotic p-value (the paper reports an average
+// p-value ≈ 0.6 for recurring plans, App. E.1).
+func KSTest(samples []float64, d LogNormal) (stat, pValue float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 1
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for i, x := range sorted {
+		f := d.CDF(x)
+		lo := float64(i) / float64(n)
+		hi := float64(i+1) / float64(n)
+		if v := math.Abs(f - lo); v > stat {
+			stat = v
+		}
+		if v := math.Abs(f - hi); v > stat {
+			stat = v
+		}
+	}
+	return stat, ksPValue(math.Sqrt(float64(n)) * stat)
+}
+
+// ksPValue evaluates the Kolmogorov distribution's survival function
+// Q(t) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2 k² t²}.
+func ksPValue(t float64) float64 {
+	if t < 1e-6 {
+		return 1
+	}
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*t*t)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		sum = 0
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// MinPDF evaluates the density of min over the given independent cost
+// distributions at y (Lemma 1):
+// f(y) = Σ_C f_C(y) Π_{C'≠C} [1 − F_{C'}(y)].
+func MinPDF(dists []LogNormal, y float64) float64 {
+	total := 0.0
+	for i := range dists {
+		term := dists[i].PDF(y)
+		if term == 0 {
+			continue
+		}
+		for j := range dists {
+			if j == i {
+				continue
+			}
+			term *= 1 - dists[j].CDF(y)
+		}
+		total += term
+	}
+	return total
+}
+
+// grid builds a log-spaced integration grid spanning all distributions.
+func grid(dists []LogNormal, points int) []float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, d := range dists {
+		if q := d.Quantile(1e-5); q < lo {
+			lo = q
+		}
+		if q := d.Quantile(1 - 1e-5); q > hi {
+			hi = q
+		}
+	}
+	if !(lo > 0) || !(hi > lo) {
+		lo, hi = 1e-6, 1
+	}
+	out := make([]float64, points)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(logLo + (logHi-logLo)*float64(i)/float64(points-1))
+	}
+	return out
+}
+
+// ExpectedMin returns E[min_i C_i] by numeric integration over the Lemma-1
+// density — the oracle model's expected cost.
+func ExpectedMin(dists []LogNormal) float64 {
+	if len(dists) == 0 {
+		return 0
+	}
+	if len(dists) == 1 {
+		return dists[0].Mean()
+	}
+	g := grid(dists, 600)
+	total := 0.0
+	for i := 1; i < len(g); i++ {
+		y := (g[i] + g[i-1]) / 2
+		total += y * MinPDF(dists, y) * (g[i] - g[i-1])
+	}
+	return total
+}
+
+// ExpectedDeviance returns E[D_E(M)] (Eq. 2) for a model that selects plan
+// `chosen`: E[(C_chosen − C*)⁺] with C* the minimum over the other plans,
+// assuming independence. The inner integral uses the closed-form log-normal
+// partial expectation.
+func ExpectedDeviance(dists []LogNormal, chosen int) float64 {
+	if len(dists) <= 1 || chosen < 0 || chosen >= len(dists) {
+		return 0
+	}
+	others := make([]LogNormal, 0, len(dists)-1)
+	for i, d := range dists {
+		if i != chosen {
+			others = append(others, d)
+		}
+	}
+	cm := dists[chosen]
+	g := grid(append(others, cm), 600)
+	total := 0.0
+	for i := 1; i < len(g); i++ {
+		y := (g[i] + g[i-1]) / 2
+		fStar := MinPDF(others, y)
+		if fStar == 0 {
+			continue
+		}
+		// ∫_y^∞ (x − y) f_M(x) dx = PE_M(y) − y (1 − F_M(y)).
+		inner := cm.PartialExpectation(y) - y*(1-cm.CDF(y))
+		if inner < 0 {
+			inner = 0
+		}
+		total += fStar * inner * (g[i] - g[i-1])
+	}
+	return total
+}
+
+// BestAchievable returns the index of the plan minimizing expected cost —
+// the model M_b of Theorem 1.
+func BestAchievable(dists []LogNormal) int {
+	best := 0
+	for i := 1; i < len(dists); i++ {
+		if dists[i].Mean() < dists[best].Mean() {
+			best = i
+		}
+	}
+	return best
+}
+
+// MonteCarloDeviance estimates E[D_E(M)] by sampling: for each trial it
+// draws one cost per plan and charges max(0, c_chosen − min_i c_i).
+func MonteCarloDeviance(rng *simrand.RNG, dists []LogNormal, chosen, trials int) float64 {
+	if len(dists) == 0 || chosen < 0 || chosen >= len(dists) {
+		return 0
+	}
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		minC := math.Inf(1)
+		var cm float64
+		for i, d := range dists {
+			c := d.Sample(rng)
+			if c < minC {
+				minC = c
+			}
+			if i == chosen {
+				cm = c
+			}
+		}
+		total += cm - minC
+	}
+	return total / float64(trials)
+}
+
+// MonteCarloExpectedMin estimates the oracle expected cost by sampling.
+func MonteCarloExpectedMin(rng *simrand.RNG, dists []LogNormal, trials int) float64 {
+	if len(dists) == 0 {
+		return 0
+	}
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		minC := math.Inf(1)
+		for _, d := range dists {
+			if c := d.Sample(rng); c < minC {
+				minC = c
+			}
+		}
+		total += minC
+	}
+	return total / float64(trials)
+}
+
+// RelativeDeviance returns E[D]/E[C_oracle] — the paper's relative deviance
+// metric (§7.2.5).
+func RelativeDeviance(dists []LogNormal, chosen int) float64 {
+	oracle := ExpectedMin(dists)
+	if oracle <= 0 {
+		return 0
+	}
+	return ExpectedDeviance(dists, chosen) / oracle
+}
+
+// Moments returns the sample mean and relative standard deviation
+// (σ/μ) — the Fig.-1 statistic.
+func Moments(samples []float64) (mean, rsd float64) {
+	n := float64(len(samples))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= n
+	v := 0.0
+	for _, s := range samples {
+		d := s - mean
+		v += d * d
+	}
+	if mean > 0 {
+		rsd = math.Sqrt(v/n) / mean
+	}
+	return mean, rsd
+}

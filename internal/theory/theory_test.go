@@ -1,0 +1,284 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loam/internal/simrand"
+)
+
+func TestLogNormalPDFCDFConsistency(t *testing.T) {
+	d := LogNormal{Mu: 1, Sigma: 0.5}
+	// CDF is the integral of PDF: check numerically over a grid.
+	prev := 0.0
+	step := 0.05
+	integral := 0.0
+	for x := step; x < 50; x += step {
+		integral += d.PDF(x-step/2) * step
+		if c := d.CDF(x); c < prev-1e-12 {
+			t.Fatalf("CDF decreasing at %g", x)
+		} else {
+			prev = c
+		}
+	}
+	if math.Abs(integral-1) > 0.01 {
+		t.Fatalf("PDF integrates to %g", integral)
+	}
+}
+
+func TestLogNormalQuantileInvertsCDF(t *testing.T) {
+	d := LogNormal{Mu: 0.3, Sigma: 0.8}
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		x := d.Quantile(p)
+		if math.Abs(d.CDF(x)-p) > 1e-6 {
+			t.Fatalf("CDF(Quantile(%g)) = %g", p, d.CDF(x))
+		}
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	d := LogNormal{Mu: 2, Sigma: 0.4}
+	want := math.Exp(2 + 0.4*0.4/2)
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Fatalf("mean %g", d.Mean())
+	}
+}
+
+func TestFitLogNormalRoundTrip(t *testing.T) {
+	rng := simrand.New(3)
+	truth := LogNormal{Mu: 1.7, Sigma: 0.35}
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = truth.Sample(rng)
+	}
+	fit, err := FitLogNormal(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-truth.Mu) > 0.02 || math.Abs(fit.Sigma-truth.Sigma) > 0.02 {
+		t.Fatalf("fit %+v, want %+v", fit, truth)
+	}
+}
+
+func TestFitLogNormalEmpty(t *testing.T) {
+	if _, err := FitLogNormal(nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+}
+
+func TestPartialExpectation(t *testing.T) {
+	d := LogNormal{Mu: 0.5, Sigma: 0.6}
+	if math.Abs(d.PartialExpectation(0)-d.Mean()) > 1e-9 {
+		t.Fatal("PE(0) should be the mean")
+	}
+	// PE decreases in y and tends to 0.
+	prev := d.Mean()
+	for _, y := range []float64{0.5, 1, 2, 5, 20} {
+		pe := d.PartialExpectation(y)
+		if pe > prev+1e-12 {
+			t.Fatalf("PE increasing at %g", y)
+		}
+		prev = pe
+	}
+	if d.PartialExpectation(1000) > 1e-6 {
+		t.Fatal("PE should vanish for huge y")
+	}
+	// Numeric check: PE(y) = ∫_y^∞ x f(x) dx.
+	y := 1.5
+	num := 0.0
+	for x := y; x < 100; x += 0.01 {
+		num += (x + 0.005) * d.PDF(x+0.005) * 0.01
+	}
+	if math.Abs(num-d.PartialExpectation(y)) > 0.01 {
+		t.Fatalf("PE numeric %g vs closed form %g", num, d.PartialExpectation(y))
+	}
+}
+
+func TestKSTestAcceptsTrueDistribution(t *testing.T) {
+	rng := simrand.New(4)
+	d := LogNormal{Mu: 1, Sigma: 0.3}
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = d.Sample(rng)
+	}
+	_, p := KSTest(samples, d)
+	if p < 0.05 {
+		t.Fatalf("KS rejected the true distribution: p=%g", p)
+	}
+}
+
+func TestKSTestRejectsWrongDistribution(t *testing.T) {
+	rng := simrand.New(5)
+	d := LogNormal{Mu: 1, Sigma: 0.3}
+	samples := make([]float64, 400)
+	for i := range samples {
+		samples[i] = d.Sample(rng)
+	}
+	wrong := LogNormal{Mu: 2.5, Sigma: 0.3}
+	_, p := KSTest(samples, wrong)
+	if p > 0.01 {
+		t.Fatalf("KS accepted a wrong distribution: p=%g", p)
+	}
+}
+
+func TestMinPDFIntegratesToOne(t *testing.T) {
+	dists := []LogNormal{
+		{Mu: 1, Sigma: 0.4},
+		{Mu: 1.5, Sigma: 0.2},
+		{Mu: 0.8, Sigma: 0.6},
+	}
+	g := grid(dists, 2000)
+	total := 0.0
+	for i := 1; i < len(g); i++ {
+		y := (g[i] + g[i-1]) / 2
+		total += MinPDF(dists, y) * (g[i] - g[i-1])
+	}
+	if math.Abs(total-1) > 0.02 {
+		t.Fatalf("min-PDF integrates to %g", total)
+	}
+}
+
+func TestExpectedMinBelowAllMeans(t *testing.T) {
+	dists := []LogNormal{
+		{Mu: 1, Sigma: 0.4},
+		{Mu: 1.2, Sigma: 0.3},
+	}
+	em := ExpectedMin(dists)
+	for i, d := range dists {
+		if em > d.Mean()+1e-9 {
+			t.Fatalf("E[min] %g exceeds mean of dist %d (%g)", em, i, d.Mean())
+		}
+	}
+	// Single distribution: E[min] = mean.
+	if got := ExpectedMin(dists[:1]); math.Abs(got-dists[0].Mean()) > 1e-9 {
+		t.Fatalf("single-dist E[min] %g", got)
+	}
+}
+
+func TestExpectedMinMatchesMonteCarlo(t *testing.T) {
+	rng := simrand.New(6)
+	dists := []LogNormal{
+		{Mu: 2, Sigma: 0.5},
+		{Mu: 2.3, Sigma: 0.2},
+		{Mu: 1.8, Sigma: 0.7},
+	}
+	analytic := ExpectedMin(dists)
+	mc := MonteCarloExpectedMin(rng, dists, 200_000)
+	if math.Abs(analytic-mc)/mc > 0.02 {
+		t.Fatalf("E[min] analytic %g vs MC %g", analytic, mc)
+	}
+}
+
+func TestExpectedDevianceMatchesMonteCarlo(t *testing.T) {
+	rng := simrand.New(7)
+	dists := []LogNormal{
+		{Mu: 2, Sigma: 0.5},
+		{Mu: 2.2, Sigma: 0.3},
+		{Mu: 2.4, Sigma: 0.4},
+	}
+	for chosen := range dists {
+		analytic := ExpectedDeviance(dists, chosen)
+		mc := MonteCarloDeviance(rng, dists, chosen, 200_000)
+		if math.Abs(analytic-mc) > 0.05*(mc+0.1) {
+			t.Fatalf("chosen %d: analytic %g vs MC %g", chosen, analytic, mc)
+		}
+	}
+}
+
+func TestTheorem1OrderingProperty(t *testing.T) {
+	// For random candidate cost distributions, E[D(M)] >= E[D(M_b)] >= 0 for
+	// every choice M — the Theorem-1 statement.
+	rng := simrand.New(8)
+	if err := quick.Check(func(seed uint16) bool {
+		r := rng.DeriveN("case", int(seed))
+		n := 2 + r.Intn(4)
+		dists := make([]LogNormal, n)
+		for i := range dists {
+			dists[i] = LogNormal{Mu: r.Uniform(0, 3), Sigma: r.Uniform(0.05, 0.8)}
+		}
+		b := BestAchievable(dists)
+		devB := ExpectedDeviance(dists, b)
+		if devB < -1e-9 {
+			return false
+		}
+		for m := range dists {
+			if ExpectedDeviance(dists, m) < devB-2e-2*(1+devB) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestAchievablePicksMinMean(t *testing.T) {
+	dists := []LogNormal{
+		{Mu: 2, Sigma: 0.1},
+		{Mu: 1, Sigma: 0.1},
+		{Mu: 3, Sigma: 0.1},
+	}
+	if got := BestAchievable(dists); got != 1 {
+		t.Fatalf("best %d", got)
+	}
+}
+
+func TestRelativeDeviance(t *testing.T) {
+	dists := []LogNormal{
+		{Mu: 2, Sigma: 0.3},
+		{Mu: 2.5, Sigma: 0.3},
+	}
+	rd := RelativeDeviance(dists, 1)
+	if rd <= 0 {
+		t.Fatalf("choosing the worse plan should have positive deviance: %g", rd)
+	}
+	rdBest := RelativeDeviance(dists, 0)
+	if rdBest >= rd {
+		t.Fatal("better choice should have lower relative deviance")
+	}
+}
+
+func TestDegenerateDevianceCases(t *testing.T) {
+	if ExpectedDeviance(nil, 0) != 0 {
+		t.Fatal("empty dists should give 0")
+	}
+	one := []LogNormal{{Mu: 1, Sigma: 0.1}}
+	if ExpectedDeviance(one, 0) != 0 {
+		t.Fatal("single candidate has no deviance")
+	}
+	if ExpectedDeviance(one, 5) != 0 {
+		t.Fatal("out-of-range choice should give 0")
+	}
+}
+
+func TestMoments(t *testing.T) {
+	mean, rsd := Moments([]float64{10, 10, 10})
+	if mean != 10 || rsd != 0 {
+		t.Fatalf("constant moments %g %g", mean, rsd)
+	}
+	mean, rsd = Moments([]float64{5, 15})
+	if mean != 10 || math.Abs(rsd-0.5) > 1e-12 {
+		t.Fatalf("moments %g %g", mean, rsd)
+	}
+	if m, r := Moments(nil); m != 0 || r != 0 {
+		t.Fatal("empty moments")
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	if p := ksPValue(0); p != 1 {
+		t.Fatalf("p at 0 = %g", p)
+	}
+	if p := ksPValue(5); p > 1e-6 {
+		t.Fatalf("p at 5 = %g", p)
+	}
+	prev := 1.0
+	for x := 0.1; x < 3; x += 0.1 {
+		p := ksPValue(x)
+		if p > prev+1e-9 {
+			t.Fatalf("p-value not decreasing at %g", x)
+		}
+		prev = p
+	}
+}

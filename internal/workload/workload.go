@@ -1,0 +1,414 @@
+// Package workload generates template-based, recurring query workloads.
+//
+// Production workloads in the paper are "pervasively driven by
+// parameterized, template-based queries whose parameters vary across runs"
+// (§4) — the stable, repetitive pattern that lets a statistics-free encoding
+// infer data-distribution details from history. A Template here is such a
+// parameterized query; Instantiate fills its parameters for a given day.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"loam/internal/expr"
+	"loam/internal/plan"
+	"loam/internal/query"
+	"loam/internal/simrand"
+	"loam/internal/warehouse"
+)
+
+// FilterSpec describes one parameterized predicate of a template.
+type FilterSpec struct {
+	Col expr.ColumnRef
+	// Fns is the comparison chain (conjunction) applied to the column.
+	Fns []expr.Func
+	// NDV of the column, cached for parameter drawing.
+	NDV int64
+	// PushDifficult marks predicates the native optimizer's default rules
+	// decline to push below joins.
+	PushDifficult bool
+	// BaseArgs are the template's canonical parameters; instances reuse them
+	// unless the parameter churn fires.
+	BaseArgs [][]float64
+}
+
+// Template is one recurring parameterized query shape.
+type Template struct {
+	ID      string
+	Project string
+	Tables  []string
+	Joins   []query.JoinEdge
+	Filters map[string][]FilterSpec
+	// PartitionFrac and ColumnsAccessed per table.
+	PartitionFrac   map[string]float64
+	ColumnsAccessed map[string]int
+	GroupBy         []expr.ColumnRef
+	Aggs            []query.AggSpec
+	// NoiseSigma is the template's intrinsic cost variability; the fleet of
+	// templates spans the paper's Fig.-1 spread.
+	NoiseSigma float64
+	// ParamChurn is the probability an instantiation redraws parameters
+	// rather than reusing the canonical ones.
+	ParamChurn float64
+	// QueriesPerDay is the mean daily submission count.
+	QueriesPerDay float64
+
+	counter int
+}
+
+// Config tunes workload generation for one project.
+type Config struct {
+	NumTemplates      int
+	QueriesPerDayMean float64
+	MinTables         int
+	MaxTables         int // paper: ~3.8 tables joined on average
+	FilterProb        float64
+	PushDifficultProb float64
+	PartitionPrune    float64 // probability a scan prunes partitions
+	AggProb           float64
+	NoiseSigmaMin     float64
+	NoiseSigmaMax     float64
+	ParamChurn        float64
+}
+
+// DefaultConfig returns a join-heavy OLAP workload shape.
+func DefaultConfig() Config {
+	return Config{
+		NumTemplates:      40,
+		QueriesPerDayMean: 12,
+		MinTables:         2,
+		MaxTables:         6,
+		FilterProb:        0.8,
+		PushDifficultProb: 0.3,
+		PartitionPrune:    0.4,
+		AggProb:           0.7,
+		NoiseSigmaMin:     0.03,
+		NoiseSigmaMax:     0.30,
+		ParamChurn:        0.6,
+	}
+}
+
+// Generator produces templates and daily query batches for one project.
+type Generator struct {
+	Project   *warehouse.Project
+	Config    Config
+	Templates []*Template
+
+	rng *simrand.RNG
+}
+
+// NewGenerator builds the template set for a project, deterministic in rng.
+func NewGenerator(rng *simrand.RNG, p *warehouse.Project, cfg Config) *Generator {
+	g := &Generator{Project: p, Config: cfg, rng: rng.Derive("workload")}
+	stable := stableTables(p)
+	if len(stable) == 0 {
+		stable = p.Tables
+	}
+	for i := 0; i < cfg.NumTemplates; i++ {
+		tRNG := g.rng.DeriveN("template", i)
+		tpl := g.buildTemplate(tRNG, i, stable)
+		if tpl != nil {
+			g.Templates = append(g.Templates, tpl)
+		}
+	}
+	return g
+}
+
+func stableTables(p *warehouse.Project) []*warehouse.Table {
+	out := make([]*warehouse.Table, 0, len(p.Tables))
+	for _, t := range p.Tables {
+		if !t.Temp {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (g *Generator) buildTemplate(rng *simrand.RNG, idx int, pool []*warehouse.Table) *Template {
+	cfg := g.Config
+	nTables := cfg.MinTables
+	if cfg.MaxTables > cfg.MinTables {
+		nTables += rng.Intn(cfg.MaxTables - cfg.MinTables + 1)
+	}
+	if nTables > len(pool) {
+		nTables = len(pool)
+	}
+	if nTables < 1 {
+		return nil
+	}
+	// Occasionally involve a temp table so selector rule R3 has signal.
+	perm := rng.Perm(len(pool))
+	tables := make([]*warehouse.Table, 0, nTables)
+	for _, pi := range perm[:nTables] {
+		tables = append(tables, pool[pi])
+	}
+	if temp := g.pickTempTable(rng); temp != nil && rng.Bool(0.15) && nTables > 1 {
+		tables[len(tables)-1] = temp
+	}
+
+	tpl := &Template{
+		ID:              fmt.Sprintf("%s.tpl%03d", g.Project.Name, idx),
+		Project:         g.Project.Name,
+		Filters:         make(map[string][]FilterSpec),
+		PartitionFrac:   make(map[string]float64),
+		ColumnsAccessed: make(map[string]int),
+		NoiseSigma:      rng.Uniform(cfg.NoiseSigmaMin, cfg.NoiseSigmaMax),
+		ParamChurn:      cfg.ParamChurn,
+		QueriesPerDay:   math.Max(1, rng.Normal(cfg.QueriesPerDayMean, cfg.QueriesPerDayMean/3)),
+	}
+	for _, t := range tables {
+		tpl.Tables = append(tpl.Tables, t.ID)
+		tpl.ColumnsAccessed[t.ID] = 1 + rng.Intn(len(t.Columns))
+		if rng.Bool(cfg.PartitionPrune) && t.Partitions > 1 {
+			tpl.PartitionFrac[t.ID] = rng.Uniform(0.02, 0.5)
+		} else {
+			tpl.PartitionFrac[t.ID] = 1
+		}
+	}
+
+	// Join graph: chain with occasional star edges back to the first table.
+	for i := 1; i < len(tables); i++ {
+		leftIdx := i - 1
+		if i >= 2 && rng.Bool(0.35) {
+			leftIdx = 0 // star
+		}
+		left, right := tables[leftIdx], tables[i]
+		lc := pickJoinColumn(rng, left)
+		rc := pickJoinColumn(rng, right)
+		form := plan.JoinInner
+		switch {
+		case rng.Bool(0.10):
+			form = plan.JoinLeft
+		case rng.Bool(0.05):
+			form = plan.JoinSemi
+		}
+		tpl.Joins = append(tpl.Joins, query.JoinEdge{
+			LeftTable: left.ID, RightTable: right.ID,
+			LeftCol: lc.Ref(left), RightCol: rc.Ref(right),
+			Form: form,
+		})
+	}
+
+	// Parameterized filters. A spec marked PushDifficult is genuinely
+	// non-sargable (LIKE / IN expression trees) — the only kind of predicate
+	// the native optimizer's conservative rules refuse to push below joins.
+	for _, t := range tables {
+		if !rng.Bool(cfg.FilterProb) {
+			continue
+		}
+		nPreds := 1 + rng.Intn(2)
+		specs := make([]FilterSpec, 0, nPreds)
+		for pi := 0; pi < nPreds; pi++ {
+			c := t.Columns[rng.Intn(len(t.Columns))]
+			spec := FilterSpec{Col: c.Ref(t), NDV: c.NDV}
+			if rng.Bool(cfg.PushDifficultProb) {
+				spec.PushDifficult = true
+				spec.Fns = []expr.Func{expr.FuncLike}
+				if rng.Bool(0.3) {
+					spec.Fns = append(spec.Fns, expr.FuncIn)
+				}
+			} else {
+				spec.Fns = []expr.Func{pickCompareFunc(rng)}
+				if rng.Bool(0.3) {
+					spec.Fns = append(spec.Fns, pickCompareFunc(rng))
+				}
+			}
+			spec.BaseArgs = drawArgs(rng, spec)
+			specs = append(specs, spec)
+		}
+		tpl.Filters[t.ID] = specs
+	}
+
+	// Aggregation.
+	if rng.Bool(cfg.AggProb) {
+		gt := tables[rng.Intn(len(tables))]
+		gc := gt.Columns[rng.Intn(len(gt.Columns))]
+		tpl.GroupBy = []expr.ColumnRef{gc.Ref(gt)}
+		nAggs := 1 + rng.Intn(3)
+		for ai := 0; ai < nAggs; ai++ {
+			at := tables[rng.Intn(len(tables))]
+			ac := at.Columns[rng.Intn(len(at.Columns))]
+			tpl.Aggs = append(tpl.Aggs, query.AggSpec{
+				Fn:  plan.AggFunc(1 + rng.Intn(plan.NumAggFuncs)),
+				Col: ac.Ref(at),
+			})
+		}
+	}
+	return tpl
+}
+
+func (g *Generator) pickTempTable(rng *simrand.RNG) *warehouse.Table {
+	var temps []*warehouse.Table
+	for _, t := range g.Project.Tables {
+		if t.Temp {
+			temps = append(temps, t)
+		}
+	}
+	if len(temps) == 0 {
+		return nil
+	}
+	return temps[rng.Intn(len(temps))]
+}
+
+func pickJoinColumn(rng *simrand.RNG, t *warehouse.Table) *warehouse.Column {
+	// Join keys are key-like: the highest-NDV column, with a small chance of
+	// the runner-up (foreign keys with moderate duplication). Low-NDV join
+	// keys would produce unbounded m:n blowups no production workload runs.
+	best, second := t.Columns[0], t.Columns[0]
+	for _, c := range t.Columns {
+		if c.NDV > best.NDV {
+			second = best
+			best = c
+		} else if c.NDV > second.NDV || second == best {
+			second = c
+		}
+	}
+	if rng.Bool(0.2) {
+		return second
+	}
+	return best
+}
+
+func pickCompareFunc(rng *simrand.RNG) expr.Func {
+	r := rng.Float64()
+	switch {
+	case r < 0.35:
+		return expr.FuncEQ
+	case r < 0.55:
+		return expr.FuncLT
+	case r < 0.70:
+		return expr.FuncGE
+	case r < 0.80:
+		return expr.FuncBetween
+	case r < 0.90:
+		return expr.FuncIn
+	default:
+		return expr.FuncLike
+	}
+}
+
+func drawArgs(rng *simrand.RNG, spec FilterSpec) [][]float64 {
+	out := make([][]float64, len(spec.Fns))
+	for i, fn := range spec.Fns {
+		switch fn {
+		case expr.FuncBetween:
+			a := float64(rng.Int63n(spec.NDV))
+			b := float64(rng.Int63n(spec.NDV))
+			if a > b {
+				a, b = b, a
+			}
+			out[i] = []float64{a, b}
+		case expr.FuncIn:
+			k := 2 + rng.Intn(4)
+			vals := make([]float64, k)
+			for j := range vals {
+				vals[j] = float64(rng.Int63n(spec.NDV))
+			}
+			out[i] = vals
+		default:
+			out[i] = []float64{float64(rng.Int63n(spec.NDV))}
+		}
+	}
+	return out
+}
+
+// Instantiate produces one query instance of the template for a day. With
+// probability ParamChurn the parameters are redrawn; otherwise the canonical
+// parameters are reused (an exactly recurring query).
+func (t *Template) Instantiate(rng *simrand.RNG, day int) *query.Query {
+	t.counter++
+	q := &query.Query{
+		ID:         fmt.Sprintf("%s.q%06d", t.ID, t.counter),
+		TemplateID: t.ID,
+		Project:    t.Project,
+		Day:        day,
+		Tables:     append([]string(nil), t.Tables...),
+		Inputs:     make(map[string]*query.TableInput, len(t.Tables)),
+		Joins:      append([]query.JoinEdge(nil), t.Joins...),
+		GroupBy:    append([]expr.ColumnRef(nil), t.GroupBy...),
+		Aggs:       append([]query.AggSpec(nil), t.Aggs...),
+		NoiseSigma: t.NoiseSigma,
+	}
+	for _, tb := range t.Tables {
+		in := &query.TableInput{
+			PartitionFrac:   t.PartitionFrac[tb],
+			ColumnsAccessed: t.ColumnsAccessed[tb],
+		}
+		specs := t.Filters[tb]
+		var soft, hard []*expr.Node
+		for _, spec := range specs {
+			args := spec.BaseArgs
+			if rng.Bool(t.ParamChurn) {
+				args = drawArgs(rng, spec)
+			}
+			for i, fn := range spec.Fns {
+				p := expr.Compare(fn, spec.Col, args[i]...)
+				if spec.PushDifficult {
+					hard = append(hard, p)
+				} else {
+					soft = append(soft, p)
+				}
+			}
+		}
+		in.Pred = expr.And(soft...)
+		in.HardPred = expr.And(hard...)
+		q.Inputs[tb] = in
+	}
+	return q
+}
+
+// Day generates the day's query batch across all templates whose tables are
+// alive, in deterministic order.
+func (g *Generator) Day(day int) []*query.Query {
+	var out []*query.Query
+	dayRNG := g.rng.DeriveN("day", day)
+	for _, t := range g.Templates {
+		if !g.alive(t, day) {
+			continue
+		}
+		n := poissonish(dayRNG, t.QueriesPerDay)
+		for i := 0; i < n; i++ {
+			out = append(out, t.Instantiate(dayRNG, day))
+		}
+	}
+	return out
+}
+
+func (g *Generator) alive(t *Template, day int) bool {
+	for _, tb := range t.Tables {
+		wt := g.Project.Table(tb)
+		if wt == nil || !wt.AliveOn(day) {
+			return false
+		}
+	}
+	return true
+}
+
+// poissonish approximates a Poisson draw with mean m (normal approximation
+// floored at 0, exact for small m).
+func poissonish(rng *simrand.RNG, m float64) int {
+	if m <= 0 {
+		return 0
+	}
+	if m < 8 {
+		// Knuth's method.
+		l := math.Exp(-m)
+		k, p := 0, 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+			if k > 200 {
+				return k
+			}
+		}
+	}
+	v := rng.Normal(m, math.Sqrt(m))
+	if v < 0 {
+		return 0
+	}
+	return int(v + 0.5)
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"loam/internal/expr"
+	"loam/internal/simrand"
+	"loam/internal/warehouse"
+)
+
+func testGenerator(seed uint64, cfg Config) *Generator {
+	a := warehouse.DefaultArchetype()
+	a.Name = "w"
+	p := warehouse.Generate(simrand.New(seed), a)
+	return NewGenerator(simrand.New(seed+1), p, cfg)
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := testGenerator(5, DefaultConfig())
+	g2 := testGenerator(5, DefaultConfig())
+	if len(g1.Templates) != len(g2.Templates) {
+		t.Fatal("template counts differ")
+	}
+	for i := range g1.Templates {
+		if g1.Templates[i].ID != g2.Templates[i].ID {
+			t.Fatal("template ids differ")
+		}
+		if len(g1.Templates[i].Tables) != len(g2.Templates[i].Tables) {
+			t.Fatal("template table counts differ")
+		}
+	}
+	d1 := g1.Day(3)
+	d2 := g2.Day(3)
+	if len(d1) != len(d2) {
+		t.Fatalf("day batches differ: %d vs %d", len(d1), len(d2))
+	}
+}
+
+func TestTemplateTableBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinTables = 2
+	cfg.MaxTables = 4
+	g := testGenerator(6, cfg)
+	for _, tpl := range g.Templates {
+		if len(tpl.Tables) < 2 || len(tpl.Tables) > 4 {
+			t.Fatalf("template %s has %d tables", tpl.ID, len(tpl.Tables))
+		}
+		// Join edges connect the template's tables.
+		if len(tpl.Joins) != len(tpl.Tables)-1 {
+			t.Fatalf("template %s: %d joins for %d tables", tpl.ID, len(tpl.Joins), len(tpl.Tables))
+		}
+	}
+}
+
+func TestInstantiateFieldsPopulated(t *testing.T) {
+	g := testGenerator(7, DefaultConfig())
+	tpl := g.Templates[0]
+	q := tpl.Instantiate(simrand.New(1), 4)
+	if q.Day != 4 || q.TemplateID != tpl.ID {
+		t.Fatal("instance metadata wrong")
+	}
+	if len(q.Tables) != len(tpl.Tables) {
+		t.Fatal("instance table list wrong")
+	}
+	for _, tb := range q.Tables {
+		in := q.Input(tb)
+		if in.PartitionFrac <= 0 || in.PartitionFrac > 1 {
+			t.Fatalf("partition frac %g", in.PartitionFrac)
+		}
+		if in.ColumnsAccessed < 1 {
+			t.Fatal("columns accessed < 1")
+		}
+	}
+	if q.NoiseSigma <= 0 {
+		t.Fatal("noise sigma missing")
+	}
+}
+
+func TestZeroChurnIsExactlyRecurring(t *testing.T) {
+	g := testGenerator(8, DefaultConfig())
+	tpl := g.Templates[0]
+	tpl.ParamChurn = 0
+	rng := simrand.New(2)
+	q1 := tpl.Instantiate(rng, 1)
+	q2 := tpl.Instantiate(rng, 1)
+	for _, tb := range q1.Tables {
+		p1, p2 := q1.Input(tb).FullPred(), q2.Input(tb).FullPred()
+		if (p1 == nil) != (p2 == nil) {
+			t.Fatal("predicate presence differs")
+		}
+		if p1 != nil && p1.String() != p2.String() {
+			t.Fatalf("recurring instance predicates differ:\n%s\n%s", p1, p2)
+		}
+	}
+}
+
+func TestChurnVariesParameters(t *testing.T) {
+	g := testGenerator(9, DefaultConfig())
+	varied := false
+	for _, tpl := range g.Templates {
+		if len(tpl.Filters) == 0 {
+			continue
+		}
+		tpl.ParamChurn = 1
+		rng := simrand.New(3)
+		q1 := tpl.Instantiate(rng, 1)
+		q2 := tpl.Instantiate(rng, 1)
+		for _, tb := range q1.Tables {
+			p1, p2 := q1.Input(tb).FullPred(), q2.Input(tb).FullPred()
+			if p1 != nil && p2 != nil && p1.String() != p2.String() {
+				varied = true
+			}
+		}
+	}
+	if !varied {
+		t.Fatal("full churn produced identical parameters everywhere")
+	}
+}
+
+func TestHardPredsAreNonSargable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PushDifficultProb = 1
+	cfg.FilterProb = 1
+	g := testGenerator(10, cfg)
+	q := g.Templates[0].Instantiate(simrand.New(4), 1)
+	foundHard := false
+	for _, tb := range q.Tables {
+		in := q.Input(tb)
+		if in.HardPred == nil {
+			continue
+		}
+		foundHard = true
+		for _, fn := range in.HardPred.Funcs() {
+			if fn != expr.FuncLike && fn != expr.FuncIn && fn != expr.FuncAnd {
+				t.Fatalf("hard predicate contains sargable function %v", fn)
+			}
+		}
+	}
+	if !foundHard {
+		t.Fatal("no hard predicates generated at prob 1")
+	}
+}
+
+func TestDaySkipsDeadTemplates(t *testing.T) {
+	a := warehouse.DefaultArchetype()
+	a.Name = "dead"
+	a.TempTableFrac = 0.9 // most tables short-lived
+	a.HorizonDays = 10
+	p := warehouse.Generate(simrand.New(11), a)
+	g := NewGenerator(simrand.New(12), p, DefaultConfig())
+	for _, q := range g.Day(9) {
+		for _, tb := range q.Tables {
+			wt := p.Table(tb)
+			if wt == nil || !wt.AliveOn(9) {
+				t.Fatalf("query %s references dead table %s", q.ID, tb)
+			}
+		}
+	}
+}
+
+func TestPoissonishMean(t *testing.T) {
+	rng := simrand.New(13)
+	for _, mean := range []float64{0.5, 3, 20} {
+		total := 0
+		n := 3000
+		for i := 0; i < n; i++ {
+			total += poissonish(rng, mean)
+		}
+		got := float64(total) / float64(n)
+		if math.Abs(got-mean) > 0.15*mean+0.1 {
+			t.Fatalf("poissonish mean %g, want %g", got, mean)
+		}
+	}
+	if poissonish(rng, 0) != 0 {
+		t.Fatal("zero mean should yield zero")
+	}
+}
+
+func TestJoinKeysAreKeyLike(t *testing.T) {
+	g := testGenerator(14, DefaultConfig())
+	for _, tpl := range g.Templates {
+		for _, j := range tpl.Joins {
+			lt := g.Project.Table(j.LeftTable)
+			col := lt.Column(j.LeftCol.Column)
+			if col == nil {
+				t.Fatalf("join column %v missing", j.LeftCol)
+			}
+			// The chosen key must be among the top-2 NDV columns.
+			higher := 0
+			for _, c := range lt.Columns {
+				if c.NDV > col.NDV {
+					higher++
+				}
+			}
+			if higher > 1 {
+				t.Fatalf("join key %s has %d higher-NDV alternatives", col.ID, higher)
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package xgb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"loam/internal/simrand"
+)
+
+func TestFitConstant(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	m := Train(DefaultConfig(), x, y)
+	for _, xi := range x {
+		if got := m.Predict(xi); math.Abs(got-7) > 1e-6 {
+			t.Fatalf("constant fit predicts %g", got)
+		}
+	}
+}
+
+func TestFitStepFunction(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := float64(i) / 200
+		x = append(x, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 5)
+		}
+	}
+	m := Train(DefaultConfig(), x, y)
+	if got := m.Predict([]float64{0.2}); math.Abs(got-1) > 0.2 {
+		t.Fatalf("left of step: %g", got)
+	}
+	if got := m.Predict([]float64{0.8}); math.Abs(got-5) > 0.2 {
+		t.Fatalf("right of step: %g", got)
+	}
+}
+
+func TestFitBeatsBaseline(t *testing.T) {
+	rng := simrand.New(4)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		a, b := rng.Uniform(-1, 1), rng.Uniform(-1, 1)
+		x = append(x, []float64{a, b, rng.Uniform(-1, 1)})
+		y = append(y, 2*a-b+a*b+rng.Normal(0, 0.05))
+	}
+	m := Train(DefaultConfig(), x, y)
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var mseModel, mseBase float64
+	for i := range x {
+		d := m.Predict(x[i]) - y[i]
+		mseModel += d * d
+		b := mean - y[i]
+		mseBase += b * b
+	}
+	if mseModel > 0.2*mseBase {
+		t.Fatalf("booster barely beats mean baseline: %g vs %g", mseModel, mseBase)
+	}
+}
+
+func TestIgnoresIrrelevantFeature(t *testing.T) {
+	rng := simrand.New(5)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		a := rng.Uniform(0, 1)
+		noise := rng.Uniform(0, 1)
+		x = append(x, []float64{noise, a})
+		y = append(y, 3*a)
+	}
+	m := Train(DefaultConfig(), x, y)
+	// Predictions must track feature 1, not feature 0.
+	lo := m.Predict([]float64{0.5, 0.1})
+	hi := m.Predict([]float64{0.5, 0.9})
+	if hi-lo < 1.5 {
+		t.Fatalf("model failed to find the relevant feature: %g vs %g", lo, hi)
+	}
+}
+
+func TestEmptyTrainingSet(t *testing.T) {
+	m := Train(DefaultConfig(), nil, nil)
+	if got := m.Predict([]float64{1, 2}); got != 0 {
+		t.Fatalf("empty model predicts %g", got)
+	}
+	if m.NumTrees() != 0 {
+		t.Fatal("empty model should have no trees")
+	}
+}
+
+func TestPredictionsFinite(t *testing.T) {
+	rng := simrand.New(6)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x = append(x, []float64{rng.Normal(0, 10), rng.Normal(0, 10)})
+		y = append(y, rng.Normal(0, 100))
+	}
+	m := Train(DefaultConfig(), x, y)
+	if err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		p := m.Predict([]float64{a, b})
+		return !math.IsNaN(p) && !math.IsInf(p, 0)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictShortFeatureVector(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {0, 1}, {5, 2}}
+	y := []float64{1, 2, 3, 4}
+	m := Train(DefaultConfig(), x, y)
+	// Missing features read as 0 rather than panicking.
+	if p := m.Predict([]float64{1}); math.IsNaN(p) {
+		t.Fatal("short vector prediction NaN")
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	y := []float64{1, 2, 3, 4, 5, 6}
+	m := Train(DefaultConfig(), x, y)
+	if m.SizeBytes() <= 0 {
+		t.Fatal("size should be positive")
+	}
+	if m.NumTrees() != DefaultConfig().Trees {
+		t.Fatalf("trees %d", m.NumTrees())
+	}
+}
+
+func TestBinOf(t *testing.T) {
+	edges := []float64{1, 2, 3}
+	cases := []struct {
+		v    float64
+		want uint8
+	}{{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.9, 2}, {3, 3}, {10, 3}}
+	for _, c := range cases {
+		if got := binOf(edges, c.v); got != c.want {
+			t.Fatalf("binOf(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestComputeBinsMonotone(t *testing.T) {
+	x := [][]float64{}
+	for i := 0; i < 100; i++ {
+		x = append(x, []float64{float64(i * i)})
+	}
+	bins := computeBins(x, 16)
+	edges := bins[0]
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("edges not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestMinChildWeightLimitsSplits(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	y := []float64{0, 10}
+	cfg := DefaultConfig()
+	cfg.MinChildWeight = 5 // cannot split 2 samples
+	m := Train(cfg, x, y)
+	// Without splits every prediction is the shrunk mean path.
+	if math.Abs(m.Predict([]float64{0})-m.Predict([]float64{1})) > 1e-9 {
+		t.Fatal("split happened despite min child weight")
+	}
+}
+
+func TestGammaSuppressesWeakSplits(t *testing.T) {
+	rng := simrand.New(7)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x = append(x, []float64{rng.Uniform(0, 1)})
+		y = append(y, rng.Normal(0, 0.01)) // nearly no signal
+	}
+	strict := DefaultConfig()
+	strict.Gamma = 100 // no split can beat this gain threshold
+	m := Train(strict, x, y)
+	if math.Abs(m.Predict([]float64{0.1})-m.Predict([]float64{0.9})) > 1e-9 {
+		t.Fatal("gamma failed to suppress weak splits")
+	}
+}
+
+func TestMaxDepthBoundsTreeSize(t *testing.T) {
+	rng := simrand.New(8)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		v := rng.Uniform(0, 1)
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(12*v))
+	}
+	shallow := DefaultConfig()
+	shallow.Trees = 1
+	shallow.MaxDepth = 1
+	m := Train(shallow, x, y)
+	// Depth 1 = a stump: at most 3 nodes.
+	if got := len(m.trees[0].nodes); got > 3 {
+		t.Fatalf("stump has %d nodes", got)
+	}
+}

@@ -1,0 +1,98 @@
+package loam
+
+import (
+	"testing"
+
+	"loam/internal/plan"
+)
+
+// TestPlanInvariantsAcrossWorkload fuzzes the optimizer+explorer across many
+// random queries and checks structural invariants on every candidate plan —
+// the class of bug a steering optimizer must never exhibit.
+func TestPlanInvariantsAcrossWorkload(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 101} {
+		sim := NewSimulation(seed, DefaultSimulationConfig())
+		cfg := DefaultProjectConfig("fuzz")
+		cfg.Archetype.NumTables = 25
+		cfg.Workload.NumTemplates = 15
+		cfg.Workload.MaxTables = 6
+		ps := sim.AddProject(cfg)
+
+		for _, tpl := range ps.Gen.Templates {
+			q := tpl.Instantiate(ps.Rng("fuzz"), 2)
+			cands := ps.Explorer(2).Candidates(q)
+			for ci, c := range cands {
+				checkPlanInvariants(t, seed, ci, c, q.Tables)
+				// Every candidate must execute to a positive cost.
+				rec := ps.Executor.Execute(c, 2, ps.ExecOptions(q))
+				if rec.CPUCost <= 0 {
+					t.Fatalf("seed %d cand %d: cost %g", seed, ci, rec.CPUCost)
+				}
+			}
+		}
+	}
+}
+
+func checkPlanInvariants(t *testing.T, seed uint64, ci int, p *plan.Plan, tables []string) {
+	t.Helper()
+	// 1. The plan scans exactly the query's tables.
+	scanned := map[string]bool{}
+	for _, tb := range p.Root.Tables() {
+		scanned[tb] = true
+	}
+	if len(scanned) != len(tables) {
+		t.Fatalf("seed %d cand %d: scans %d tables, query has %d", seed, ci, len(scanned), len(tables))
+	}
+	for _, tb := range tables {
+		if !scanned[tb] {
+			t.Fatalf("seed %d cand %d: missing table %s", seed, ci, tb)
+		}
+	}
+
+	joins := 0
+	p.Root.Walk(func(n *plan.Node) {
+		// 2. Child-arity sanity per operator class.
+		switch {
+		case n.Op == plan.OpTableScan:
+			if len(n.Children) != 0 {
+				t.Fatalf("seed %d cand %d: scan with children", seed, ci)
+			}
+			if n.PartitionsRead < 1 {
+				t.Fatalf("seed %d cand %d: scan reads %d partitions", seed, ci, n.PartitionsRead)
+			}
+		case n.Op.IsJoin():
+			joins++
+			if len(n.Children) != 2 {
+				t.Fatalf("seed %d cand %d: join with %d children", seed, ci, len(n.Children))
+			}
+			if n.JoinForm == 0 {
+				t.Fatalf("seed %d cand %d: join without form", seed, ci)
+			}
+		case n.Op.IsFilterLike():
+			if n.Pred == nil {
+				t.Fatalf("seed %d cand %d: filter without predicate", seed, ci)
+			}
+			if len(n.Children) != 1 {
+				t.Fatalf("seed %d cand %d: filter arity %d", seed, ci, len(n.Children))
+			}
+		case n.Op.IsExchange():
+			if len(n.Children) != 1 {
+				t.Fatalf("seed %d cand %d: exchange arity %d", seed, ci, len(n.Children))
+			}
+		}
+	})
+	// 3. A left-deep tree over n tables has exactly n-1 joins.
+	if joins != len(tables)-1 {
+		t.Fatalf("seed %d cand %d: %d joins for %d tables", seed, ci, joins, len(tables))
+	}
+
+	// 4. Fingerprints survive clone; canonicalization is binary.
+	if p.Clone().Root.Fingerprint() != p.Root.Fingerprint() {
+		t.Fatalf("seed %d cand %d: clone changed fingerprint", seed, ci)
+	}
+	p.Root.Canonicalize().Walk(func(n *plan.Node) {
+		if len(n.Children) > 2 {
+			t.Fatalf("seed %d cand %d: canonical node with %d children", seed, ci, len(n.Children))
+		}
+	})
+}

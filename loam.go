@@ -1,0 +1,354 @@
+// Package loam is a self-contained reproduction of LOAM, the learned query
+// optimizer deployed in Alibaba MaxCompute ("Learned Query Optimizer in
+// Alibaba MaxCompute: Challenges, Analysis, and Solutions").
+//
+// The package simulates a MaxCompute-like distributed, multi-tenant data
+// warehouse end to end — synthetic projects with hidden data distributions,
+// a stale/missing statistics view, a native cost-based optimizer, a
+// multi-tenant cluster with dynamic machine loads, and a stage-level
+// execution simulator — and implements LOAM on top of it: a statistics-free,
+// environment-aware adaptive cost predictor trained with domain adaptation
+// (§4), average-case environment smoothing at inference (§5), and two-stage
+// project selection (§6).
+//
+// Typical use:
+//
+//	sim := loam.NewSimulation(7, loam.DefaultSimulationConfig())
+//	ps := sim.AddProject(loam.DefaultProjectConfig("p1"))
+//	ps.RunDays(0, 30)                        // build query history
+//	dep, err := ps.Deploy(loam.DefaultDeployConfig())
+//	if err != nil { ... }
+//	choice := dep.Optimize(q)                // steer one query
+package loam
+
+import (
+	"fmt"
+	"io"
+
+	"loam/internal/cluster"
+	"loam/internal/encoding"
+	"loam/internal/exec"
+	"loam/internal/explorer"
+	"loam/internal/history"
+	"loam/internal/plan"
+	"loam/internal/predictor"
+	"loam/internal/query"
+	"loam/internal/simrand"
+	"loam/internal/stats"
+	"loam/internal/warehouse"
+	"loam/internal/workload"
+)
+
+// SimulationConfig configures the shared substrate.
+type SimulationConfig struct {
+	Cluster cluster.Config
+}
+
+// DefaultSimulationConfig returns the default cluster setup.
+func DefaultSimulationConfig() SimulationConfig {
+	return SimulationConfig{Cluster: cluster.DefaultConfig()}
+}
+
+// ProjectConfig configures one simulated project.
+type ProjectConfig struct {
+	Name string
+	// Archetype shapes the catalog (table/column counts, sizes, churn).
+	Archetype warehouse.Archetype
+	// Workload shapes the query templates.
+	Workload workload.Config
+	// StatsPolicy degrades the optimizer-visible statistics (Challenge C2).
+	StatsPolicy stats.Policy
+	// ExecMaxInstances caps stage parallelism.
+	ExecMaxInstances int
+}
+
+// DefaultProjectConfig returns a mid-sized project named name.
+func DefaultProjectConfig(name string) ProjectConfig {
+	a := warehouse.DefaultArchetype()
+	a.Name = name
+	return ProjectConfig{
+		Name:        name,
+		Archetype:   a,
+		Workload:    workload.DefaultConfig(),
+		StatsPolicy: stats.DefaultPolicy(),
+	}
+}
+
+// Simulation is the shared multi-tenant environment: one cluster, many
+// projects.
+type Simulation struct {
+	Cluster  *cluster.Cluster
+	Projects []*ProjectSim
+
+	rng *simrand.RNG
+}
+
+// NewSimulation builds a simulation, deterministic in seed.
+func NewSimulation(seed uint64, cfg SimulationConfig) *Simulation {
+	rng := simrand.New(seed)
+	return &Simulation{
+		Cluster: cluster.New(rng.Derive("cluster"), cfg.Cluster),
+		rng:     rng,
+	}
+}
+
+// AddProject generates a project from its config and attaches it to the
+// simulation.
+func (s *Simulation) AddProject(cfg ProjectConfig) *ProjectSim {
+	if cfg.Archetype.Name == "" {
+		cfg.Archetype.Name = cfg.Name
+	}
+	prng := s.rng.Derive("project:" + cfg.Name)
+	proj := warehouse.Generate(prng.Derive("warehouse"), cfg.Archetype)
+	ps := &ProjectSim{
+		Config:   cfg,
+		Project:  proj,
+		Gen:      workload.NewGenerator(prng.Derive("workload"), proj, cfg.Workload),
+		Executor: exec.NewExecutor(prng.Derive("exec"), s.Cluster, proj),
+		Repo:     &history.Repository{},
+		rng:      prng,
+		views:    map[int]*stats.View{},
+	}
+	s.Projects = append(s.Projects, ps)
+	return ps
+}
+
+// Project returns the attached project simulation by name, or nil.
+func (s *Simulation) Project(name string) *ProjectSim {
+	for _, p := range s.Projects {
+		if p.Config.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// ProjectSim is one project inside the simulation: its catalog, workload
+// generator, executor, and query history.
+type ProjectSim struct {
+	Config   ProjectConfig
+	Project  *warehouse.Project
+	Gen      *workload.Generator
+	Executor *exec.Executor
+	Repo     *history.Repository
+
+	rng   *simrand.RNG
+	views map[int]*stats.View
+}
+
+// View returns the (cached) optimizer statistics snapshot for a day.
+func (ps *ProjectSim) View(day int) *stats.View {
+	if v, ok := ps.views[day]; ok {
+		return v
+	}
+	v := stats.Snapshot(ps.rng.Derive("stats"), ps.Project, day, ps.Config.StatsPolicy)
+	ps.views[day] = v
+	return v
+}
+
+// Explorer returns a plan explorer bound to a day's statistics view.
+func (ps *ProjectSim) Explorer(day int) *explorer.Explorer {
+	return explorer.New(ps.View(day))
+}
+
+// execOptions builds executor options for a query.
+func (ps *ProjectSim) execOptions(q *query.Query) exec.Options {
+	opt := exec.DefaultOptions()
+	if q.NoiseSigma > 0 {
+		opt.NoiseSigma = q.NoiseSigma
+	}
+	if ps.Config.ExecMaxInstances > 0 {
+		opt.MaxInstances = ps.Config.ExecMaxInstances
+	}
+	return opt
+}
+
+// RunDays simulates production days [from, to): each day's queries are
+// planned by the native optimizer (no knobs), executed on the shared
+// cluster, and logged to the repository — building the historical query
+// repository LOAM trains from.
+func (ps *ProjectSim) RunDays(from, to int) {
+	for day := from; day < to; day++ {
+		ex := ps.Explorer(day)
+		for _, q := range ps.Gen.Day(day) {
+			def := ex.DefaultPlan(q)
+			rec := ps.Executor.Execute(def, day, ps.execOptions(q))
+			rec.TemplateID = q.TemplateID
+			ps.Repo.Append(history.Entry{Query: q, Record: rec})
+		}
+	}
+}
+
+// ExecuteDefault plans and executes one query with the native optimizer and
+// logs it, returning the record.
+func (ps *ProjectSim) ExecuteDefault(q *query.Query) *exec.Record {
+	def := ps.Explorer(q.Day).DefaultPlan(q)
+	rec := ps.Executor.Execute(def, q.Day, ps.execOptions(q))
+	rec.TemplateID = q.TemplateID
+	ps.Repo.Append(history.Entry{Query: q, Record: rec})
+	return rec
+}
+
+// DeployConfig configures training a LOAM deployment for a project.
+type DeployConfig struct {
+	// Predictor holds the model hyperparameters.
+	Predictor predictor.Config
+	// Encoder sizes the plan vectorization.
+	Encoder encoding.Config
+	// TrainDays and TestDays split the history (paper: 25 / 5).
+	TrainDays int
+	TestDays  int
+	// MaxTrain caps the training set (paper: 10,000).
+	MaxTrain int
+	// DomainPlans is how many unexecuted candidate plans are generated for
+	// domain alignment.
+	DomainPlans int
+}
+
+// DefaultDeployConfig returns the paper-shaped defaults at simulator scale.
+func DefaultDeployConfig() DeployConfig {
+	return DeployConfig{
+		Predictor:   predictor.DefaultConfig(),
+		Encoder:     encoding.DefaultConfig(),
+		TrainDays:   25,
+		TestDays:    5,
+		MaxTrain:    10_000,
+		DomainPlans: 128,
+	}
+}
+
+// Deployment is a trained LOAM instance serving one project.
+type Deployment struct {
+	ProjectSim *ProjectSim
+	Predictor  *predictor.Predictor
+	Encoder    *encoding.Encoder
+	Strategy   predictor.Strategy
+
+	TrainSize int
+	TestSet   []history.Entry
+}
+
+// Deploy trains an adaptive cost predictor from the project's history and
+// returns a serving deployment. The training set is the deduplicated default
+// plans of the first TrainDays; unexecuted candidate plans generated by the
+// explorer align the domains (§4).
+func (ps *ProjectSim) Deploy(cfg DeployConfig) (*Deployment, error) {
+	train, test := ps.Repo.Split(cfg.TrainDays, cfg.TestDays, cfg.MaxTrain)
+	if len(train) == 0 {
+		return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, predictor.ErrNoTrainingData)
+	}
+	enc := encoding.NewEncoder(cfg.Encoder)
+
+	samples := make([]predictor.Sample, len(train))
+	for i, e := range train {
+		samples[i] = predictor.Sample{
+			Plan: e.Record.Plan,
+			Envs: encoding.RecordEnv(e.Record.NodeEnv),
+			Cost: e.Record.CPUCost,
+		}
+	}
+
+	// Unexecuted candidate plans for domain alignment: explore a spread of
+	// training queries. Generation is cheap (§7.2.1) and costs no execution.
+	var domain []*plan.Plan
+	if cfg.Predictor.Adapt && cfg.DomainPlans > 0 {
+		stride := len(train)/cfg.DomainPlans + 1
+		for i := 0; i < len(train) && len(domain) < cfg.DomainPlans; i += stride {
+			e := train[i]
+			ex := ps.Explorer(e.Record.Day)
+			for _, c := range ex.Candidates(e.Query) {
+				if !c.IsDefault() {
+					domain = append(domain, c)
+				}
+			}
+		}
+	}
+
+	pred, err := predictor.Train(cfg.Predictor, enc, samples, domain)
+	if err != nil {
+		return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
+	}
+	return &Deployment{
+		ProjectSim: ps,
+		Predictor:  pred,
+		Encoder:    enc,
+		Strategy:   predictor.StrategyMeanEnv,
+		TrainSize:  len(train),
+		TestSet:    test,
+	}, nil
+}
+
+// Choice is the outcome of steering one query.
+type Choice struct {
+	Query      *query.Query
+	Candidates []*plan.Plan
+	Estimates  []float64
+	Chosen     *plan.Plan
+	ChosenIdx  int
+}
+
+// Optimize steers one query: the plan explorer produces candidates, the
+// predictor estimates their costs under the deployment's inference strategy,
+// and the cheapest is chosen (§3).
+func (d *Deployment) Optimize(q *query.Query) *Choice {
+	cands := d.ProjectSim.Explorer(q.Day).Candidates(q)
+	envs := d.envSource()
+	chosen, costs := d.Predictor.SelectPlan(cands, envs)
+	idx := 0
+	for i := range cands {
+		if cands[i] == chosen {
+			idx = i
+			break
+		}
+	}
+	return &Choice{Query: q, Candidates: cands, Estimates: costs, Chosen: chosen, ChosenIdx: idx}
+}
+
+// envSource resolves the deployment's inference strategy against the live
+// cluster (§5).
+func (d *Deployment) envSource() encoding.EnvSource {
+	cl := d.ProjectSim.Executor.Cluster
+	return d.Predictor.EnvSourceFor(
+		d.Strategy,
+		cl.HistoryAverage().Normalized(),
+		cl.ClusterAverage().Normalized(),
+	)
+}
+
+// ExecuteChoice runs the chosen plan, logs it, and returns the record.
+func (d *Deployment) ExecuteChoice(c *Choice) *exec.Record {
+	rec := d.ProjectSim.Executor.Execute(c.Chosen, c.Query.Day, d.ProjectSim.execOptions(c.Query))
+	rec.TemplateID = c.Query.TemplateID
+	d.ProjectSim.Repo.Append(history.Entry{Query: c.Query, Record: rec})
+	return rec
+}
+
+// Rng derives a named deterministic random stream from the project's root
+// stream — used by experiments that need reproducible ad-hoc draws.
+func (ps *ProjectSim) Rng(name string) *simrand.RNG { return ps.rng.Derive(name) }
+
+// ExecOptions returns the executor options the project uses for a query —
+// exported for tools that execute plans out-of-band (flighting comparisons).
+func (ps *ProjectSim) ExecOptions(q *query.Query) exec.Options { return ps.execOptions(q) }
+
+// SaveModel serializes the deployment's trained predictor.
+func (d *Deployment) SaveModel(w io.Writer) error { return d.Predictor.Save(w) }
+
+// DeployFromModel restores a previously saved predictor and binds it to this
+// project as a serving deployment. trainDays/testDays select which history
+// window serves as the deployment's validation test set (as in Deploy).
+func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int) (*Deployment, error) {
+	pred, err := predictor.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", ps.Config.Name, err)
+	}
+	train, test := ps.Repo.Split(trainDays, testDays, 0)
+	return &Deployment{
+		ProjectSim: ps,
+		Predictor:  pred,
+		Encoder:    encoding.NewEncoder(encoding.DefaultConfig()),
+		Strategy:   predictor.StrategyMeanEnv,
+		TrainSize:  len(train),
+		TestSet:    test,
+	}, nil
+}
