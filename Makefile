@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run exercises the concurrent serving layer (see serve_test.go and
+# DESIGN.md's concurrency model); it is part of verification, not optional.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+verify: build test race

@@ -1,6 +1,7 @@
 package loam_test
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"loam/internal/experiments"
 	"loam/internal/plan"
 	"loam/internal/predictor"
+	"loam/internal/query"
 	"loam/internal/simrand"
 	"loam/internal/theory"
 	"loam/internal/xgb"
@@ -253,7 +255,98 @@ func BenchmarkPredictorInference(b *testing.B) {
 	envs := dep.Predictor.EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = dep.Predictor.SelectPlan(cands, envs)
+		_, _, _ = dep.Predictor.SelectPlan(cands, envs)
+	}
+}
+
+// BenchmarkServeThroughput measures the serving experiment end to end: one
+// deployment steering the test window's queries through OptimizeBatch at
+// each parallelism level, with sequential-vs-parallel choice verification.
+func BenchmarkServeThroughput(b *testing.B) {
+	env, _ := getBenchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := env.Serve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Identical {
+			b.Fatal("parallel serving diverged from sequential plan choices")
+		}
+		render(b, r)
+	}
+}
+
+// serveBenchSetup builds a deployment plus a batch of fresh queries once,
+// shared by the OptimizeBatch sub-benchmarks.
+var (
+	serveBenchOnce sync.Once
+	serveBenchDep  *loam.Deployment
+	serveBenchQs   []*query.Query
+)
+
+func getServeBench(b *testing.B) (*loam.Deployment, []*query.Query) {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		ps, _ := microProject(b)
+		ps.RunDays(0, 4)
+		dcfg := loam.DefaultDeployConfig()
+		dcfg.TrainDays = 4
+		dcfg.TestDays = 0
+		dcfg.Predictor.Epochs = 2
+		dcfg.DomainPlans = 8
+		dep, err := ps.Deploy(dcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveBenchDep = dep
+		for day := 4; len(serveBenchQs) < 64; day++ {
+			serveBenchQs = append(serveBenchQs, ps.Gen.Day(day)...)
+		}
+		serveBenchQs = serveBenchQs[:64]
+	})
+	if serveBenchDep == nil {
+		b.Skip("serving benchmark setup failed")
+	}
+	return serveBenchDep, serveBenchQs
+}
+
+// BenchmarkOptimizeBatch reports per-batch serving latency at increasing
+// parallelism over an identical 64-query batch; linear-ish scaling here is
+// the tentpole claim of the concurrent serving layer.
+func BenchmarkOptimizeBatch(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			dep, qs := getServeBench(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dep.OptimizeBatch(qs, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectPlanParallel compares sequential and pooled candidate
+// scoring inside a single SelectPlan call.
+func BenchmarkSelectPlanParallel(b *testing.B) {
+	dep, qs := getServeBench(b)
+	ps := dep.ProjectSim
+	cands := ps.Explorer(4).Candidates(qs[0])
+	envs := dep.Predictor.EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
+	for _, workers := range []int{1, 0} {
+		name := "sequential"
+		if workers == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dep.Predictor.SelectPlanParallel(cands, envs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

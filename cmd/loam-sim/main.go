@@ -74,7 +74,10 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	var totalDefault, totalChosen float64
 	for _, q := range queries {
-		choice := dep.Optimize(q)
+		choice, err := dep.Optimize(q)
+		if err != nil {
+			return err
+		}
 		rec := dep.ExecuteChoice(choice)
 		defCost := ps.Executor.Flight(choice.Candidates[0], day, 1, ps.ExecOptions(q))
 		totalDefault += defCost

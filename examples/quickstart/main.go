@@ -38,7 +38,10 @@ func main() {
 	// Steer one fresh query: explore candidates, predict costs under the
 	// average-case environment, execute the cheapest.
 	q := ps.Gen.Day(10)[0]
-	choice := dep.Optimize(q)
+	choice, err := dep.Optimize(q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("query %s: %d candidates\n", q.ID, len(choice.Candidates))
 	for i, est := range choice.Estimates {
 		marker := "  "

@@ -51,7 +51,10 @@ func main() {
 		if len(results) >= limit {
 			break
 		}
-		choice := dep.Optimize(e.Query)
+		choice, err := dep.Optimize(e.Query)
+		if err != nil {
+			log.Fatal(err)
+		}
 		got := ps.Executor.Flight(choice.Chosen, e.Query.Day, 3, ps.ExecOptions(e.Query))
 		def := ps.Executor.Flight(choice.Candidates[0], e.Query.Day, 3, ps.ExecOptions(e.Query))
 		results = append(results, outcome{id: e.Query.ID, def: def, got: got})

@@ -1,7 +1,6 @@
 package loam
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 )
@@ -34,10 +33,9 @@ func (s *Simulation) DeployAll(cfg DeployConfig, parallelism int) []FleetResult 
 			defer wg.Done()
 			for i := range jobs {
 				ps := s.Projects[i]
+				// ps.Deploy already wraps failures as "deploy <name>: …";
+				// wrapping again here would double the prefix.
 				dep, err := ps.Deploy(cfg)
-				if err != nil {
-					err = fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
-				}
 				results[i] = FleetResult{Project: ps.Config.Name, Deployment: dep, Err: err}
 			}
 		}()

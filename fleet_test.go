@@ -1,8 +1,11 @@
 package loam
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
+	"loam/internal/predictor"
 	"loam/internal/selector"
 )
 
@@ -56,6 +59,32 @@ func TestDeployAllParallelMatchesSequential(t *testing.T) {
 				t.Fatalf("%s: empty deployment", r.Project)
 			}
 		}
+	}
+}
+
+// TestDeployAllErrorShape pins the failure message format: ProjectSim.Deploy
+// already prefixes "deploy <name>:", and DeployAll must not wrap it again.
+func TestDeployAllErrorShape(t *testing.T) {
+	sim := fleetSim(t)
+	results := sim.DeployAll(fleetDeployConfig(), 2)
+	var failed *FleetResult
+	for i := range results {
+		if results[i].Project == "empty" {
+			failed = &results[i]
+		}
+	}
+	if failed == nil || failed.Err == nil {
+		t.Fatal("empty project should carry an error")
+	}
+	if !errors.Is(failed.Err, predictor.ErrNoTrainingData) {
+		t.Fatalf("error chain lost: %v", failed.Err)
+	}
+	msg := failed.Err.Error()
+	if !strings.HasPrefix(msg, "deploy empty:") {
+		t.Fatalf("missing project prefix: %q", msg)
+	}
+	if strings.Count(msg, "deploy empty:") != 1 {
+		t.Fatalf("double-wrapped project prefix: %q", msg)
 	}
 }
 

@@ -12,6 +12,7 @@ package cluster
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"loam/internal/simrand"
 )
@@ -92,9 +93,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// Cluster is the simulated machine pool. It is not safe for concurrent use;
-// the execution simulator drives it single-threaded (simulated time).
+// Cluster is the simulated machine pool. It is safe for concurrent use: an
+// RWMutex lets any number of readers (MachineMetrics, Average,
+// ClusterAverage, HistoryAverage — the serving path's environment
+// observations) proceed in parallel, while writers (Advance, AddLoad,
+// Allocate) serialize. Simulated time itself stays logically single-threaded:
+// concurrent Advance calls are ordered by the lock, so a deterministic
+// trajectory still requires a single driving goroutine.
 type Cluster struct {
+	mu       sync.RWMutex
 	cfg      Config
 	machines []machine
 	now      float64 // simulated seconds since epoch
@@ -138,14 +145,21 @@ func New(rng *simrand.RNG, cfg Config) *Cluster {
 }
 
 // Now returns the simulated time in seconds.
-func (c *Cluster) Now() float64 { return c.now }
+func (c *Cluster) Now() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
 
-// Size returns the number of machines.
+// Size returns the number of machines. The pool never resizes after New, so
+// no lock is needed.
 func (c *Cluster) Size() int { return len(c.machines) }
 
 // Advance moves simulated time forward, stepping machine dynamics at each
 // sample interval.
 func (c *Cluster) Advance(seconds float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	steps := int(seconds / SampleInterval)
 	if steps < 1 {
 		steps = 1
@@ -179,6 +193,13 @@ func (c *Cluster) step() {
 
 // MachineMetrics returns the current metrics of one machine.
 func (c *Cluster) MachineMetrics(id int) Metrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.machineMetricsLocked(id)
+}
+
+// machineMetricsLocked reads one machine's metrics; callers hold the lock.
+func (c *Cluster) machineMetricsLocked(id int) Metrics {
 	m := &c.machines[id]
 	eff := clamp01(m.load + m.burst)
 	return Metrics{
@@ -191,12 +212,14 @@ func (c *Cluster) MachineMetrics(id int) Metrics {
 
 // Average returns the mean metrics over a set of machines.
 func (c *Cluster) Average(ids []int) Metrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if len(ids) == 0 {
-		return c.ClusterAverage()
+		return c.clusterAverageLocked()
 	}
 	var sum Metrics
 	for _, id := range ids {
-		sum = sum.Add(c.MachineMetrics(id))
+		sum = sum.Add(c.machineMetricsLocked(id))
 	}
 	return sum.Scale(1 / float64(len(ids)))
 }
@@ -204,15 +227,23 @@ func (c *Cluster) Average(ids []int) Metrics {
 // ClusterAverage returns the mean metrics over the whole pool — what the
 // LOAM-CB inference variant observes at optimization time.
 func (c *Cluster) ClusterAverage() Metrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.clusterAverageLocked()
+}
+
+func (c *Cluster) clusterAverageLocked() Metrics {
 	var sum Metrics
 	for i := range c.machines {
-		sum = sum.Add(c.MachineMetrics(i))
+		sum = sum.Add(c.machineMetricsLocked(i))
 	}
 	return sum.Scale(1 / float64(len(c.machines)))
 }
 
+// recordHistory appends the current cluster average to the ring buffer;
+// callers hold the write lock (or, in New, exclusive ownership).
 func (c *Cluster) recordHistory() {
-	c.history[c.histPos] = c.ClusterAverage()
+	c.history[c.histPos] = c.clusterAverageLocked()
 	c.histPos = (c.histPos + 1) % len(c.history)
 	if c.histLen < len(c.history) {
 		c.histLen++
@@ -223,8 +254,10 @@ func (c *Cluster) recordHistory() {
 // window (up to 24 h) — what the LOAM-CE inference variant fits its
 // environment distribution from.
 func (c *Cluster) HistoryAverage() Metrics {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.histLen == 0 {
-		return c.ClusterAverage()
+		return c.clusterAverageLocked()
 	}
 	var sum Metrics
 	for i := 0; i < c.histLen; i++ {
@@ -236,7 +269,10 @@ func (c *Cluster) HistoryAverage() Metrics {
 // Allocate picks n machine IDs for a stage's instances, preferring idle
 // machines — Fuxi schedules onto machines with more idle resources (§7.2.5).
 // Allocation is randomized among the idlest half to model contention.
+// Allocate takes the write lock: it draws from the scheduler's RNG stream.
 func (c *Cluster) Allocate(n int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if n <= 0 {
 		n = 1
 	}
@@ -249,7 +285,7 @@ func (c *Cluster) Allocate(n int) []int {
 	}
 	cands := make([]cand, len(c.machines))
 	for i := range c.machines {
-		m := c.MachineMetrics(i)
+		m := c.machineMetricsLocked(i)
 		// Jitter breaks ties and models imperfect scheduler information.
 		cands[i] = cand{id: i, idle: m.CPUIdle + c.rng.Uniform(0, 0.15)}
 	}
@@ -264,6 +300,8 @@ func (c *Cluster) Allocate(n int) []int {
 // AddLoad injects extra utilization onto the given machines, modeling the
 // footprint of a running stage.
 func (c *Cluster) AddLoad(ids []int, amount float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, id := range ids {
 		c.machines[id].burst = clamp01(c.machines[id].burst + amount)
 	}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"loam/internal/cardinality"
 	"loam/internal/cluster"
@@ -57,11 +58,18 @@ func DefaultOptions() Options {
 }
 
 // Executor runs plans against a project's ground truth on a shared cluster.
+// Execute is safe to call from multiple goroutines: executions serialize on
+// an internal mutex, because each one advances simulated time and draws from
+// the executor's noise stream. Work and CostUnderEnv are read-only and run
+// without the lock. Under concurrent callers the interleaving of executions
+// (and therefore costs) depends on goroutine scheduling; determinism requires
+// a single driving goroutine, as before.
 type Executor struct {
 	Cluster *cluster.Cluster
 	Project *warehouse.Project
 	Coeffs  CostCoeffs
 
+	mu      sync.Mutex
 	rng     *simrand.RNG
 	counter int
 }
@@ -117,6 +125,8 @@ func (ex *Executor) stageInstances(s *Stage, cards *cardinality.Result, maxInsta
 // returning the execution record. Day selects the catalog state (table sizes
 // grow over days).
 func (ex *Executor) Execute(p *plan.Plan, day int, opt Options) *Record {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
 	if opt.MaxInstances <= 0 {
 		opt.MaxInstances = 64
 	}

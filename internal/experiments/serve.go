@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"loam"
+	"loam/internal/query"
+)
+
+// ServeResult measures the §7-style serving deployment: one trained LOAM
+// instance steering a day's worth of queries through OptimizeBatch at
+// increasing parallelism. Because plan scoring is read-only and per-query
+// independent, throughput should scale with workers while every plan choice
+// stays identical to the sequential run — both are reported.
+type ServeResult struct {
+	Project string
+	Queries int
+	Rows    []ServeRow
+	// Identical is true when every parallel run chose exactly the plans the
+	// sequential run chose, in the same order.
+	Identical bool
+}
+
+// ServeRow is one parallelism level's measured throughput.
+type ServeRow struct {
+	Parallelism int
+	Seconds     float64
+	QPS         float64
+	// Speedup is relative to the sequential (parallelism=1) run.
+	Speedup float64
+}
+
+// Serve runs the serving-throughput experiment on the first evaluation
+// project: train (or reuse) the default LOAM deployment, generate the test
+// window's queries, and steer them with OptimizeBatch at parallelism 1, 2, 4
+// and GOMAXPROCS.
+func (e *Env) Serve() (*ServeResult, error) {
+	project := e.projects[0].Config.Name
+	dep, err := e.Deployment(project, LOAMVariant())
+	if err != nil {
+		return nil, err
+	}
+	ps := e.Project(project)
+
+	var qs []*query.Query
+	for day := e.Cfg.TrainDays; day < e.Cfg.TrainDays+e.Cfg.TestDays; day++ {
+		qs = append(qs, ps.Gen.Day(day)...)
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("serve %s: no test-window queries", project)
+	}
+
+	res := &ServeResult{Project: project, Queries: len(qs), Identical: true}
+
+	levels := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		levels = append(levels, p)
+	}
+	var baseline []*loam.Choice
+	var seqSeconds float64
+	for _, par := range levels {
+		start := time.Now()
+		choices, err := dep.OptimizeBatch(qs, par)
+		if err != nil {
+			return nil, fmt.Errorf("serve %s (parallelism %d): %w", project, par, err)
+		}
+		secs := time.Since(start).Seconds()
+		if par == 1 {
+			baseline = choices
+			seqSeconds = secs
+		} else {
+			for i := range choices {
+				if choices[i].ChosenIdx != baseline[i].ChosenIdx {
+					res.Identical = false
+				}
+			}
+		}
+		row := ServeRow{Parallelism: par, Seconds: secs, QPS: float64(len(qs)) / secs}
+		if secs > 0 {
+			row.Speedup = seqSeconds / secs
+		}
+		res.Rows = append(res.Rows, row)
+		e.Cfg.logf("serve %s: parallelism=%d %d queries in %.2fs (%.0f q/s)",
+			project, par, len(qs), secs, row.QPS)
+	}
+	return res, nil
+}
+
+// Render prints the serving-throughput table.
+func (r *ServeResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Serving throughput (§7) — %d queries on %q, identical plan choices: %v\n",
+		r.Queries, r.Project, r.Identical)
+	fmt.Fprintf(w, "%-12s %10s %10s %9s\n", "parallelism", "seconds", "queries/s", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12d %10.3f %10.0f %8.2fx\n", row.Parallelism, row.Seconds, row.QPS, row.Speedup)
+	}
+}

@@ -6,6 +6,7 @@ package history
 
 import (
 	"sort"
+	"sync"
 
 	"loam/internal/exec"
 	"loam/internal/query"
@@ -17,22 +18,45 @@ type Entry struct {
 	Record *exec.Record
 }
 
-// Repository is one project's query log.
+// Repository is one project's query log. It is safe for concurrent use:
+// appends from concurrently executing queries and reads from training or
+// selection are serialized by an internal RWMutex.
 type Repository struct {
+	mu      sync.RWMutex
 	entries []Entry
 }
 
 // Append logs an execution.
-func (r *Repository) Append(e Entry) { r.entries = append(r.entries, e) }
+func (r *Repository) Append(e Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, e)
+}
 
 // Len returns the number of logged executions.
-func (r *Repository) Len() int { return len(r.entries) }
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
 
 // All returns every entry (shared backing array; callers must not mutate).
-func (r *Repository) All() []Entry { return r.entries }
+// The returned slice is a stable snapshot: later Appends never alias it.
+func (r *Repository) All() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[:len(r.entries):len(r.entries)]
+}
 
 // Window returns entries with fromDay <= day < toDay.
 func (r *Repository) Window(fromDay, toDay int) []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.window(fromDay, toDay)
+}
+
+// window filters entries by day; callers hold at least the read lock.
+func (r *Repository) window(fromDay, toDay int) []Entry {
 	out := make([]Entry, 0, len(r.entries))
 	for _, e := range r.entries {
 		if e.Record.Day >= fromDay && e.Record.Day < toDay {
@@ -45,6 +69,8 @@ func (r *Repository) Window(fromDay, toDay int) []Entry {
 // CountByDay returns the number of queries per day, used by the selector's
 // volume rules.
 func (r *Repository) CountByDay() map[int]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make(map[int]int)
 	for _, e := range r.entries {
 		out[e.Record.Day]++
@@ -54,6 +80,8 @@ func (r *Repository) CountByDay() map[int]int {
 
 // Days returns the sorted distinct days present.
 func (r *Repository) Days() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	seen := map[int]bool{}
 	for _, e := range r.entries {
 		seen[e.Record.Day] = true
@@ -88,11 +116,13 @@ func Dedup(entries []Entry) []Entry {
 // training set capped at maxTrain (0 = uncapped) — the paper's 25-day /
 // 5-day / ≤10,000-query protocol.
 func (r *Repository) Split(trainDays, testDays, maxTrain int) (train, test []Entry) {
-	train = Dedup(r.Window(0, trainDays))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	train = Dedup(r.window(0, trainDays))
 	if maxTrain > 0 && len(train) > maxTrain {
 		train = train[:maxTrain]
 	}
-	test = Dedup(r.Window(trainDays, trainDays+testDays))
+	test = Dedup(r.window(trainDays, trainDays+testDays))
 	return train, test
 }
 

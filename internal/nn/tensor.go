@@ -4,6 +4,12 @@
 // convolution, multi-head self-attention), the gradient reversal layer used
 // by the domain-adversarial training (§4), and an Adam optimizer with
 // exponential learning-rate decay.
+//
+// Concurrency: forward passes only read parameter tensors and allocate fresh
+// result tensors per operation, so inference over a trained model is safe
+// from multiple goroutines. Gradients are written only by Backward and the
+// optimizer — training, and anything that mutates parameters, must stay on a
+// single goroutine.
 package nn
 
 import (

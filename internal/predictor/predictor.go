@@ -10,6 +10,8 @@ package predictor
 import (
 	"errors"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"loam/internal/encoding"
@@ -100,6 +102,13 @@ type Predictor struct {
 
 // ErrNoTrainingData is returned when the training set is empty.
 var ErrNoTrainingData = errors.New("predictor: no training data")
+
+// ErrNoCandidates is returned by SelectPlan when the candidate set is empty.
+var ErrNoCandidates = errors.New("predictor: no candidate plans")
+
+// ErrNoFiniteEstimate is returned by SelectPlan when every candidate's cost
+// estimate is NaN, so no plan can be preferred over another.
+var ErrNoFiniteEstimate = errors.New("predictor: no candidate has a finite cost estimate")
 
 // Train fits the predictor. candPlans is a small set of *unexecuted*
 // candidate plans used purely for domain alignment — they carry no cost
@@ -313,8 +322,16 @@ func (p *Predictor) Metrics() Metrics { return p.metrics }
 // per-feature means observed across training plans.
 func (p *Predictor) TrainMeanEnv() [4]float64 { return p.trainMeanEnv }
 
+// EncoderConfig returns the encoder configuration the predictor was trained
+// with. After predictor.Load it is the configuration restored from the
+// snapshot — callers rebinding a restored model to a serving deployment must
+// rebuild their encoder from it, not from encoding.DefaultConfig.
+func (p *Predictor) EncoderConfig() encoding.Config { return p.encCfg }
+
 // PredictCost estimates a plan's CPU cost under the given environment
-// source.
+// source. It is safe for concurrent use once training has returned: the
+// forward pass only reads the trained weights and allocates fresh activation
+// tensors per call (see the internal/nn package doc).
 func (p *Predictor) PredictCost(pl *plan.Plan, envs encoding.EnvSource) float64 {
 	if !p.cfg.UseEnv {
 		envs = encoding.NoEnv()
@@ -379,19 +396,73 @@ func (p *Predictor) EnvSourceFor(s Strategy, clusterExpected, clusterCurrent [4]
 	}
 }
 
+// parallelCandidateThreshold is the candidate count at or above which
+// SelectPlan fans scoring out to a worker pool; smaller sets are scored
+// sequentially so they do not pay goroutine startup for sub-millisecond
+// work.
+const parallelCandidateThreshold = 4
+
 // SelectPlan returns the candidate with the lowest estimated cost, along
-// with all estimates. Candidates must be non-empty.
-func (p *Predictor) SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (best *plan.Plan, costs []float64) {
+// with all estimates. Candidates are scored concurrently on a bounded worker
+// pool when the set is large enough (they are independent, and the forward
+// pass is read-only); ties and NaN handling are identical to the sequential
+// path, so the chosen plan never depends on the degree of parallelism.
+//
+// An empty candidate set returns ErrNoCandidates; candidates whose estimate
+// is NaN are skipped when choosing, and if every estimate is NaN the error is
+// ErrNoFiniteEstimate. The costs slice is returned even on
+// ErrNoFiniteEstimate so callers can log the estimates.
+func (p *Predictor) SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (best *plan.Plan, costs []float64, err error) {
+	return p.SelectPlanParallel(cands, envs, 0)
+}
+
+// SelectPlanParallel is SelectPlan with an explicit worker count: 0 means
+// runtime.GOMAXPROCS(0), 1 forces the sequential path (used by benchmarks to
+// compare against), and anything larger bounds the scoring pool.
+func (p *Predictor) SelectPlanParallel(cands []*plan.Plan, envs encoding.EnvSource, workers int) (best *plan.Plan, costs []float64, err error) {
+	if len(cands) == 0 {
+		return nil, nil, ErrNoCandidates
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
 	costs = make([]float64, len(cands))
-	bestIdx := 0
-	for i, c := range cands {
-		costs[i] = p.PredictCost(c, envs)
-		if costs[i] < costs[bestIdx] {
+	if workers == 1 || len(cands) < parallelCandidateThreshold {
+		for i, c := range cands {
+			costs[i] = p.PredictCost(c, envs)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					costs[i] = p.PredictCost(cands[i], envs)
+				}
+			}()
+		}
+		for i := range cands {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	bestIdx := -1
+	for i := range costs {
+		if math.IsNaN(costs[i]) {
+			continue
+		}
+		if bestIdx < 0 || costs[i] < costs[bestIdx] {
 			bestIdx = i
 		}
 	}
-	if len(cands) > 0 {
-		best = cands[bestIdx]
+	if bestIdx < 0 {
+		return nil, costs, ErrNoFiniteEstimate
 	}
-	return best, costs
+	return cands[bestIdx], costs, nil
 }

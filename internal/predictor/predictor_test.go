@@ -7,6 +7,7 @@ import (
 
 	"loam/internal/encoding"
 	"loam/internal/expr"
+	"loam/internal/nn"
 	"loam/internal/plan"
 	"loam/internal/simrand"
 )
@@ -120,7 +121,10 @@ func TestSelectPlanPicksMin(t *testing.T) {
 		t.Fatal(err)
 	}
 	plans := []*plan.Plan{samples[0].Plan, samples[1].Plan, samples[2].Plan}
-	best, costs := p.SelectPlan(plans, encoding.FixedEnv(p.TrainMeanEnv()))
+	best, costs, err := p.SelectPlan(plans, encoding.FixedEnv(p.TrainMeanEnv()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(costs) != 3 || best == nil {
 		t.Fatal("selection malformed")
 	}
@@ -132,6 +136,111 @@ func TestSelectPlanPicksMin(t *testing.T) {
 	}
 	if best != plans[minIdx] {
 		t.Fatal("SelectPlan did not pick the minimum")
+	}
+}
+
+// stubBackbone maps a plan's root table name to a fixed scalar embedding so
+// tests can hand SelectPlan exact (possibly NaN) estimates.
+type stubBackbone struct{ vals map[string]float64 }
+
+func (b stubBackbone) embed(p *plan.Plan, envs encoding.EnvSource) *nn.Tensor {
+	return nn.FromData(1, 1, []float64{b.vals[p.Root.Table]})
+}
+
+func (b stubBackbone) params() []*nn.Tensor { return nil }
+
+// stubPredictor predicts exp(vals[root table]) for each plan.
+func stubPredictor(vals map[string]float64) *Predictor {
+	return &Predictor{
+		cfg: Config{Kind: KindTCN},
+		bb:  stubBackbone{vals},
+		costHead: &nn.Linear{
+			W: nn.FromData(1, 1, []float64{1}),
+			B: nn.FromData(1, 1, []float64{0}),
+		},
+		sigmaY: 1,
+	}
+}
+
+func scanPlan(table string) *plan.Plan {
+	return &plan.Plan{Root: &plan.Node{Op: plan.OpTableScan, Table: table, PartitionsRead: 1, ColumnsAccessed: 1}}
+}
+
+func TestSelectPlanEmptyCandidates(t *testing.T) {
+	p := stubPredictor(nil)
+	best, costs, err := p.SelectPlan(nil, encoding.NoEnv())
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("want ErrNoCandidates, got %v", err)
+	}
+	if best != nil || costs != nil {
+		t.Fatal("empty selection should return no plan and no costs")
+	}
+}
+
+func TestSelectPlanSkipsNaN(t *testing.T) {
+	p := stubPredictor(map[string]float64{
+		"a": math.NaN(), "b": 2, "c": 1, "d": 3,
+	})
+	plans := []*plan.Plan{scanPlan("a"), scanPlan("b"), scanPlan("c"), scanPlan("d")}
+	best, costs, err := p.SelectPlan(plans, encoding.NoEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(costs[0]) {
+		t.Fatalf("estimate 0 should be NaN, got %g", costs[0])
+	}
+	if best != plans[2] {
+		t.Fatalf("NaN must never win the argmin; want plan c, got %v", best)
+	}
+}
+
+func TestSelectPlanAllNaN(t *testing.T) {
+	p := stubPredictor(map[string]float64{"a": math.NaN(), "b": math.NaN()})
+	plans := []*plan.Plan{scanPlan("a"), scanPlan("b")}
+	best, costs, err := p.SelectPlan(plans, encoding.NoEnv())
+	if !errors.Is(err, ErrNoFiniteEstimate) {
+		t.Fatalf("want ErrNoFiniteEstimate, got %v", err)
+	}
+	if best != nil {
+		t.Fatal("no plan should be chosen when every estimate is NaN")
+	}
+	if len(costs) != 2 {
+		t.Fatalf("costs should still be returned for logging, got %d", len(costs))
+	}
+}
+
+// TestSelectPlanParallelMatchesSequential pins the determinism contract: the
+// chosen plan and every estimate are byte-identical no matter how many
+// workers score the candidates.
+func TestSelectPlanParallelMatchesSequential(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(150, 8)
+	p, err := Train(tinyConfig(KindXGBoost), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []*plan.Plan
+	for i := 0; i < 24; i++ {
+		plans = append(plans, samples[i].Plan)
+	}
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	seqBest, seqCosts, err := p.SelectPlanParallel(plans, envs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64} {
+		best, costs, err := p.SelectPlanParallel(plans, envs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if best != seqBest {
+			t.Fatalf("workers=%d chose a different plan", workers)
+		}
+		for i := range costs {
+			if costs[i] != seqCosts[i] {
+				t.Fatalf("workers=%d estimate %d differs: %g vs %g", workers, i, costs[i], seqCosts[i])
+			}
+		}
 	}
 }
 

@@ -18,12 +18,15 @@
 //	ps.RunDays(0, 30)                        // build query history
 //	dep, err := ps.Deploy(loam.DefaultDeployConfig())
 //	if err != nil { ... }
-//	choice := dep.Optimize(q)                // steer one query
+//	choice, err := dep.Optimize(q)           // steer one query
+//	if err != nil { ... }
 package loam
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"loam/internal/cluster"
 	"loam/internal/encoding"
@@ -124,7 +127,9 @@ func (s *Simulation) Project(name string) *ProjectSim {
 }
 
 // ProjectSim is one project inside the simulation: its catalog, workload
-// generator, executor, and query history.
+// generator, executor, and query history. The serving path (View, Explorer,
+// Optimize, ExecuteChoice) is safe for concurrent use; RunDays and the
+// workload generator remain single-threaded.
 type ProjectSim struct {
 	Config   ProjectConfig
 	Project  *warehouse.Project
@@ -132,12 +137,17 @@ type ProjectSim struct {
 	Executor *exec.Executor
 	Repo     *history.Repository
 
-	rng   *simrand.RNG
-	views map[int]*stats.View
+	rng    *simrand.RNG
+	viewMu sync.Mutex
+	views  map[int]*stats.View
 }
 
-// View returns the (cached) optimizer statistics snapshot for a day.
+// View returns the (cached) optimizer statistics snapshot for a day. It is
+// safe for concurrent use; the first request for a day builds the snapshot
+// under the cache lock, so concurrent requests never duplicate the work.
 func (ps *ProjectSim) View(day int) *stats.View {
+	ps.viewMu.Lock()
+	defer ps.viewMu.Unlock()
 	if v, ok := ps.views[day]; ok {
 		return v
 	}
@@ -217,7 +227,10 @@ func DefaultDeployConfig() DeployConfig {
 	}
 }
 
-// Deployment is a trained LOAM instance serving one project.
+// Deployment is a trained LOAM instance serving one project. Once trained it
+// is safe for concurrent use: Optimize, OptimizeBatch and ExecuteChoice may
+// be called from multiple goroutines against the same deployment (mutating
+// Strategy concurrently with serving is not).
 type Deployment struct {
 	ProjectSim *ProjectSim
 	Predictor  *predictor.Predictor
@@ -289,11 +302,19 @@ type Choice struct {
 
 // Optimize steers one query: the plan explorer produces candidates, the
 // predictor estimates their costs under the deployment's inference strategy,
-// and the cheapest is chosen (§3).
-func (d *Deployment) Optimize(q *query.Query) *Choice {
+// and the cheapest is chosen (§3). It returns an error when the explorer
+// yields no candidates or no candidate has a finite cost estimate.
+//
+// Optimize is safe for concurrent use: candidate generation reads immutable
+// statistics views, the environment source reads the cluster under a shared
+// lock, and plan scoring is read-only on the trained model.
+func (d *Deployment) Optimize(q *query.Query) (*Choice, error) {
 	cands := d.ProjectSim.Explorer(q.Day).Candidates(q)
 	envs := d.envSource()
-	chosen, costs := d.Predictor.SelectPlan(cands, envs)
+	chosen, costs, err := d.Predictor.SelectPlan(cands, envs)
+	if err != nil {
+		return nil, fmt.Errorf("optimize %s: %w", d.ProjectSim.Config.Name, err)
+	}
 	idx := 0
 	for i := range cands {
 		if cands[i] == chosen {
@@ -301,7 +322,45 @@ func (d *Deployment) Optimize(q *query.Query) *Choice {
 			break
 		}
 	}
-	return &Choice{Query: q, Candidates: cands, Estimates: costs, Chosen: chosen, ChosenIdx: idx}
+	return &Choice{Query: q, Candidates: cands, Estimates: costs, Chosen: chosen, ChosenIdx: idx}, nil
+}
+
+// OptimizeBatch steers a batch of queries, running up to parallelism
+// Optimize calls concurrently (≤1 means sequential) — the paper's §7 serving
+// deployment, where a fleet of optimizer frontends scores plans against one
+// live cluster. Choices are returned in query order; a query that fails to
+// optimize leaves a nil choice and contributes to the joined error. The
+// parallel path chooses exactly the same plans as the sequential path: plan
+// scoring is deterministic and per-query independent.
+func (d *Deployment) OptimizeBatch(qs []*query.Query, parallelism int) ([]*Choice, error) {
+	choices := make([]*Choice, len(qs))
+	errs := make([]error, len(qs))
+	if parallelism > len(qs) {
+		parallelism = len(qs)
+	}
+	if parallelism <= 1 {
+		for i, q := range qs {
+			choices[i], errs[i] = d.Optimize(q)
+		}
+		return choices, errors.Join(errs...)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				choices[i], errs[i] = d.Optimize(qs[i])
+			}
+		}()
+	}
+	for i := range qs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return choices, errors.Join(errs...)
 }
 
 // envSource resolves the deployment's inference strategy against the live
@@ -336,7 +395,10 @@ func (d *Deployment) SaveModel(w io.Writer) error { return d.Predictor.Save(w) }
 
 // DeployFromModel restores a previously saved predictor and binds it to this
 // project as a serving deployment. trainDays/testDays select which history
-// window serves as the deployment's validation test set (as in Deploy).
+// window serves as the deployment's validation test set (as in Deploy). The
+// deployment's encoder is rebuilt from the encoder configuration serialized
+// with the model, not from the package default, so a model trained under a
+// non-default encoding keeps its feature layout after restore.
 func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int) (*Deployment, error) {
 	pred, err := predictor.Load(r)
 	if err != nil {
@@ -346,7 +408,7 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int) (*De
 	return &Deployment{
 		ProjectSim: ps,
 		Predictor:  pred,
-		Encoder:    encoding.NewEncoder(encoding.DefaultConfig()),
+		Encoder:    encoding.NewEncoder(pred.EncoderConfig()),
 		Strategy:   predictor.StrategyMeanEnv,
 		TrainSize:  len(train),
 		TestSet:    test,

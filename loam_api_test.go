@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"loam/internal/encoding"
 	"loam/internal/predictor"
 )
 
@@ -85,7 +86,10 @@ func TestOptimizeProducesValidChoice(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := ps.Gen.Day(5)[0]
-	choice := dep.Optimize(q)
+	choice, err := dep.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if choice.Chosen == nil || len(choice.Candidates) == 0 {
 		t.Fatal("empty choice")
 	}
@@ -140,9 +144,12 @@ func TestDeploymentStrategySwitch(t *testing.T) {
 	}
 	q := ps.Gen.Day(5)[0]
 	dep.Strategy = predictor.StrategyClusterCurrent
-	c1 := dep.Optimize(q)
+	c1, err1 := dep.Optimize(q)
 	dep.Strategy = predictor.StrategyMeanEnv
-	c2 := dep.Optimize(q)
+	c2, err2 := dep.Optimize(q)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("optimize errors: %v / %v", err1, err2)
+	}
 	// Both must be valid selections (they may or may not coincide).
 	if c1.Chosen == nil || c2.Chosen == nil {
 		t.Fatal("strategy switch broke optimization")
@@ -179,14 +186,64 @@ func TestSaveAndRestoreDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := ps.Gen.Day(6)[0]
-	c1 := dep.Optimize(q)
-	c2 := restored.Optimize(q)
+	c1, err1 := dep.Optimize(q)
+	c2, err2 := restored.Optimize(q)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("optimize errors: %v / %v", err1, err2)
+	}
 	if c1.ChosenIdx != c2.ChosenIdx {
 		t.Fatalf("restored deployment picks differently: %d vs %d", c1.ChosenIdx, c2.ChosenIdx)
 	}
 	for i := range c1.Estimates {
 		if c1.Estimates[i] != c2.Estimates[i] {
 			t.Fatalf("estimate %d differs after restore", i)
+		}
+	}
+}
+
+// TestSaveAndRestoreNonDefaultEncoding deploys under a non-default encoder
+// configuration and verifies the restored deployment rebuilds its encoder
+// from the serialized configuration — not encoding.DefaultConfig() — so every
+// estimate survives the round trip bit-for-bit.
+func TestSaveAndRestoreNonDefaultEncoding(t *testing.T) {
+	_, ps := tinyProject(t, 10)
+	ps.RunDays(0, 6)
+	dcfg := DefaultDeployConfig()
+	dcfg.TrainDays = 5
+	dcfg.TestDays = 1
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 4
+	dcfg.Encoder = encoding.Config{Segments: 3, SegmentDim: 16, MaxPartitions: 2048, MaxColumns: 32}
+	dep, err := ps.Deploy(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dep.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ps.DeployFromModel(&buf, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Predictor.EncoderConfig(); got != dcfg.Encoder {
+		t.Fatalf("restored encoder config %+v, want %+v", got, dcfg.Encoder)
+	}
+	if got := restored.Encoder.Config(); got != dcfg.Encoder {
+		t.Fatalf("restored deployment encoder rebuilt from %+v, want %+v", got, dcfg.Encoder)
+	}
+	q := ps.Gen.Day(6)[0]
+	c1, err1 := dep.Optimize(q)
+	c2, err2 := restored.Optimize(q)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("optimize errors: %v / %v", err1, err2)
+	}
+	if c1.ChosenIdx != c2.ChosenIdx {
+		t.Fatalf("restored deployment picks differently: %d vs %d", c1.ChosenIdx, c2.ChosenIdx)
+	}
+	for i := range c1.Estimates {
+		if c1.Estimates[i] != c2.Estimates[i] {
+			t.Fatalf("estimate %d differs after restore: %g vs %g", i, c1.Estimates[i], c2.Estimates[i])
 		}
 	}
 }

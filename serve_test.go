@@ -1,0 +1,174 @@
+package loam
+
+import (
+	"sync"
+	"testing"
+
+	"loam/internal/query"
+)
+
+// serveDeployment builds a small trained deployment plus a slice of fresh
+// test-day queries for the concurrency tests.
+func serveDeployment(t *testing.T, seed uint64, nQueries int) (*Deployment, []*query.Query) {
+	t.Helper()
+	_, ps := tinyProject(t, seed)
+	ps.RunDays(0, 6)
+	dcfg := DefaultDeployConfig()
+	dcfg.TrainDays = 5
+	dcfg.TestDays = 1
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 8
+	dep, err := ps.Deploy(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []*query.Query
+	for day := 6; len(qs) < nQueries; day++ {
+		qs = append(qs, ps.Gen.Day(day)...)
+	}
+	return dep, qs[:nQueries]
+}
+
+// TestConcurrentOptimizeMatchesSequential steers the same queries once
+// sequentially and once from many goroutines and requires identical plan
+// choices and estimates — the serving layer's determinism contract. Run with
+// -race to also check the shared substrate (cluster, statistics views,
+// predictor weights) for data races.
+func TestConcurrentOptimizeMatchesSequential(t *testing.T) {
+	dep, qs := serveDeployment(t, 31, 12)
+
+	seq := make([]*Choice, len(qs))
+	for i, q := range qs {
+		c, err := dep.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = c
+	}
+
+	conc := make([]*Choice, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conc[i], errs[i] = dep.Optimize(qs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range qs {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if conc[i].ChosenIdx != seq[i].ChosenIdx {
+			t.Fatalf("query %d: concurrent chose %d, sequential %d", i, conc[i].ChosenIdx, seq[i].ChosenIdx)
+		}
+		for j := range seq[i].Estimates {
+			if conc[i].Estimates[j] != seq[i].Estimates[j] {
+				t.Fatalf("query %d estimate %d differs under concurrency", i, j)
+			}
+		}
+	}
+}
+
+// TestConcurrentExecuteChoice optimizes and executes from multiple goroutines
+// against one live cluster. Execution order (and hence noise draws) is
+// scheduler-dependent, but the run must be race-free, panic-free, and log
+// exactly one history record per query.
+func TestConcurrentExecuteChoice(t *testing.T) {
+	dep, qs := serveDeployment(t, 32, 16)
+	before := dep.ProjectSim.Repo.Len()
+
+	var wg sync.WaitGroup
+	for _, q := range qs {
+		wg.Add(1)
+		go func(q *query.Query) {
+			defer wg.Done()
+			choice, err := dep.Optimize(q)
+			if err != nil {
+				t.Errorf("optimize %s: %v", q.ID, err)
+				return
+			}
+			if rec := dep.ExecuteChoice(choice); rec.CPUCost <= 0 {
+				t.Errorf("query %s: non-positive executed cost", q.ID)
+			}
+		}(q)
+	}
+	wg.Wait()
+
+	if got := dep.ProjectSim.Repo.Len(); got != before+len(qs) {
+		t.Fatalf("repo grew by %d, want %d", got-before, len(qs))
+	}
+}
+
+// TestOptimizeBatchMatchesSequential requires OptimizeBatch to return the
+// same choices in the same order at every parallelism level.
+func TestOptimizeBatchMatchesSequential(t *testing.T) {
+	dep, qs := serveDeployment(t, 33, 10)
+	seq, err := dep.OptimizeBatch(qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(qs) {
+		t.Fatalf("batch returned %d choices for %d queries", len(seq), len(qs))
+	}
+	for _, parallelism := range []int{2, 4, 16} {
+		par, err := dep.OptimizeBatch(qs, parallelism)
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		for i := range qs {
+			if par[i] == nil || par[i].Query != qs[i] {
+				t.Fatalf("parallelism=%d: choice %d not in query order", parallelism, i)
+			}
+			if par[i].ChosenIdx != seq[i].ChosenIdx {
+				t.Fatalf("parallelism=%d: query %d chose %d, sequential %d",
+					parallelism, i, par[i].ChosenIdx, seq[i].ChosenIdx)
+			}
+			for j := range seq[i].Estimates {
+				if par[i].Estimates[j] != seq[i].Estimates[j] {
+					t.Fatalf("parallelism=%d: query %d estimate %d differs", parallelism, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentClusterReads hammers the cluster's read API while a writer
+// advances simulated time — the RWMutex contract under -race.
+func TestConcurrentClusterReads(t *testing.T) {
+	sim, ps := tinyProject(t, 34)
+	cl := sim.Cluster
+	done := make(chan struct{})
+	var wg wg2
+	for r := 0; r < 4; r++ {
+		wg.go_(func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = cl.ClusterAverage()
+				_ = cl.HistoryAverage()
+				_ = cl.MachineMetrics(0)
+				_ = cl.Now()
+			}
+		})
+	}
+	ps.RunDays(0, 2)
+	close(done)
+	wg.wait()
+}
+
+// wg2 is a tiny WaitGroup wrapper keeping the test bodies readable.
+type wg2 struct{ wg sync.WaitGroup }
+
+func (w *wg2) go_(f func()) {
+	w.wg.Add(1)
+	go func() { defer w.wg.Done(); f() }()
+}
+
+func (w *wg2) wait() { w.wg.Wait() }

@@ -39,7 +39,10 @@ func TestSmokePipeline(t *testing.T) {
 		t.Fatal("no test queries")
 	}
 	for _, e := range dep.TestSet[:min(3, len(dep.TestSet))] {
-		choice := dep.Optimize(e.Query)
+		choice, err := dep.Optimize(e.Query)
+		if err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
 		if choice.Chosen == nil {
 			t.Fatal("no plan chosen")
 		}

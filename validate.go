@@ -94,11 +94,15 @@ func (d *Deployment) Validate(cfg ValidationConfig) (*ValidationResult, error) {
 		}
 
 		// Predictor's choice under the deployment's strategy.
-		_, ests := d.Predictor.SelectPlan(cands, d.envSource())
+		chosenPlan, _, err := d.Predictor.SelectPlan(cands, d.envSource())
+		if err != nil {
+			return nil, fmt.Errorf("validate %s: %w", ps.Config.Name, err)
+		}
 		chosen := 0
-		for i, est := range ests {
-			if est < ests[chosen] {
+		for i := range cands {
+			if cands[i] == chosenPlan {
 				chosen = i
+				break
 			}
 		}
 		res.Queries++
