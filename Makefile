@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench lint lint-fix-hints verify
 
 build:
 	$(GO) build ./...
@@ -16,4 +16,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-verify: build test race
+# lint runs stock go vet plus loam-vet, the repo's own analyzer suite
+# (internal/analysis): determinism, lockdiscipline, nansafety, errwrap.
+# See DESIGN.md "Static analysis & code contracts".
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/loam-vet ./...
+
+# lint-fix-hints prints a suggested rewrite under each finding.
+lint-fix-hints:
+	$(GO) run ./cmd/loam-vet -hints ./...
+
+verify: build lint test race

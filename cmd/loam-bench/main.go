@@ -17,9 +17,9 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
 	"loam/internal/experiments"
+	"loam/internal/walltime"
 )
 
 func main() {
@@ -70,7 +70,7 @@ func run(args []string, out, errw io.Writer) error {
 	all := want["all"]
 	has := func(id string) bool { return all || want[id] }
 
-	start := time.Now()
+	sw := walltime.Start()
 	env := experiments.NewEnv(cfg)
 
 	section := func(id string) {
@@ -185,6 +185,6 @@ func run(args []string, out, errw io.Writer) error {
 		r.Render(out)
 	}
 
-	fmt.Fprintf(out, "\ntotal: %.1fs\n", time.Since(start).Seconds())
+	fmt.Fprintf(out, "\ntotal: %.1fs\n", sw.Seconds())
 	return nil
 }

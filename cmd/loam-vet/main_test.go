@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestRepoIsClean runs the real binary path against the repository itself:
+// `make verify` relies on this exiting 0.
+func TestRepoIsClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"../.."}); code != 0 {
+		t.Fatalf("loam-vet on repo exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+// TestSeededViolations proves each analyzer catches a planted violation with
+// a non-zero exit — the acceptance check from ISSUE.md.
+func TestSeededViolations(t *testing.T) {
+	tests := []struct {
+		rule  string
+		files map[string]string
+		want  string
+	}{
+		{
+			rule: "determinism",
+			files: map[string]string{"internal/p/p.go": `package p
+import "math/rand"
+func Roll() int { return rand.Intn(6) }
+`},
+			want: "[determinism]",
+		},
+		{
+			rule: "lockdiscipline",
+			files: map[string]string{"internal/cluster/cluster.go": `package cluster
+import "sync"
+type Cluster struct {
+	mu       sync.RWMutex
+	machines []int
+}
+func (c *Cluster) Bad() int { return len(c.machines) }
+`},
+			want: "[lockdiscipline]",
+		},
+		{
+			rule: "nansafety",
+			files: map[string]string{"internal/p/p.go": `package p
+func Better(cost, bestCost float64) bool { return cost < bestCost }
+`},
+			want: "[nansafety]",
+		},
+		{
+			rule: "errwrap",
+			files: map[string]string{"internal/p/p.go": `package p
+import "fmt"
+func Wrap(err error) error { return fmt.Errorf("load state: %v", err) }
+`},
+			want: "[errwrap]",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.rule, func(t *testing.T) {
+			root := writeModule(t, tc.files)
+			var out, errw bytes.Buffer
+			code := run(&out, &errw, []string{"-rules", tc.rule, root})
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}
+
+func TestHintsMode(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/p/p.go": `package p
+import "math/rand"
+func Roll() int { return rand.Intn(6) }
+`})
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-hints", root}); code != 1 {
+		t.Fatalf("exit = %d, want 1:\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "hint:") {
+		t.Fatalf("-hints output has no hint line:\n%s", out.String())
+	}
+}
+
+func TestListAndBadRules(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-list"}); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, rule := range []string{"determinism", "lockdiscipline", "nansafety", "errwrap"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing %q:\n%s", rule, out.String())
+		}
+	}
+	out.Reset()
+	if code := run(&out, &errw, []string{"-rules", "nosuch", "../.."}); code != 2 {
+		t.Fatalf("unknown -rules exit = %d, want 2", code)
+	}
+}

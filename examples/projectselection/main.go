@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"loam"
 	"loam/internal/exec"
@@ -77,7 +78,14 @@ func main() {
 		scores[ps.Config.Name] = 0 // ranked below
 	}
 	ranker := selector.TrainRanker(samples)
+	// Score in sorted name order: measure() executes plans on the shared
+	// cluster, so map-order iteration would leak into simulated state.
+	held := make([]string, 0, len(scores))
 	for name := range scores {
+		held = append(held, name)
+	}
+	sort.Strings(held)
+	for _, name := range held {
 		ps := sim.Project(name)
 		feats := make([][]float64, 0)
 		projSamples, _ := measure(ps)

@@ -1,0 +1,87 @@
+// Package analysis is a zero-dependency static-analysis framework for this
+// repository, built on stdlib go/parser, go/ast and go/token only. It loads
+// every package under the module root and runs a pluggable set of analyzers
+// that machine-check the repo's load-bearing conventions:
+//
+//   - determinism: seed-reproducibility (no math/rand outside
+//     internal/simrand, no wall-clock reads outside internal/walltime, no
+//     order-sensitive iteration over maps)
+//   - lockdiscipline: all access to the mutex-guarded state of
+//     cluster.Cluster and history.Repository goes through guarded methods
+//   - nansafety: no raw float comparisons on cost/estimate values where a
+//     NaN operand would silently win or lose a plan choice
+//   - errwrap: errors are wrapped with %w and never double-prefixed
+//
+// Findings are reported as "file:line: [rule] message". Intentional
+// exceptions live in the commented allowlist (see allowlist.go), never in
+// analyzer logic. The suite runs as cmd/loam-vet from `make lint`.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	// Suggestion is an optional rewrite hint, printed by loam-vet -hints.
+	Suggestion string
+}
+
+// String formats the finding in the canonical "file:line: [rule] message"
+// shape that editors and CI logs pick up.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Analyzer is one pluggable rule set run over the whole loaded program.
+// Whole-program (rather than per-package) granularity lets analyzers build
+// cross-package indexes, e.g. errwrap's callee-prefix map.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		LockDiscipline(),
+		NaNSafety(),
+		ErrWrap(),
+	}
+}
+
+// RunAll runs the given analyzers and filters the findings through the
+// allowlist, returning the surviving findings sorted by position.
+func RunAll(prog *Program, analyzers []*Analyzer, allow []AllowEntry) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			if !Allowed(allow, f) {
+				out = append(out, f)
+			}
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, then rule, so output is stable
+// across runs and map-free.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Pos.Filename != fs[j].Pos.Filename {
+			return fs[i].Pos.Filename < fs[j].Pos.Filename
+		}
+		if fs[i].Pos.Line != fs[j].Pos.Line {
+			return fs[i].Pos.Line < fs[j].Pos.Line
+		}
+		return fs[i].Rule < fs[j].Rule
+	})
+}

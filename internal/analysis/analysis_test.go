@@ -1,0 +1,482 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixture assembles an in-memory program under module path "fixture".
+func fixture(t *testing.T, files map[string]string) *Program {
+	t.Helper()
+	prog, err := NewProgram("fixture", files)
+	if err != nil {
+		t.Fatalf("NewProgram: %v", err)
+	}
+	return prog
+}
+
+// runOne runs a single analyzer with no allowlist.
+func runOne(prog *Program, a *Analyzer) []Finding {
+	return RunAll(prog, []*Analyzer{a}, nil)
+}
+
+// wantFindings asserts each expected (rule, message-substring) pair appears
+// exactly once and nothing else fires.
+func wantFindings(t *testing.T, got []Finding, want [][2]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(want), renderFindings(got))
+	}
+	for i, w := range want {
+		if got[i].Rule != w[0] || !strings.Contains(got[i].Message, w[1]) {
+			t.Errorf("finding %d = %s, want rule %q message containing %q", i, got[i], w[0], w[1])
+		}
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestDeterminism(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want [][2]string
+	}{
+		{
+			name: "math/rand import is flagged",
+			src: `package p
+import "math/rand"
+func Roll() int { return rand.Intn(6) }
+`,
+			want: [][2]string{{"determinism", "math/rand"}},
+		},
+		{
+			name: "math/rand/v2 import is flagged",
+			src: `package p
+import "math/rand/v2"
+func Roll() int { return rand.IntN(6) }
+`,
+			want: [][2]string{{"determinism", "math/rand/v2"}},
+		},
+		{
+			name: "time.Now and time.Since are flagged",
+			src: `package p
+import "time"
+func Elapsed() float64 {
+	start := time.Now()
+	return time.Since(start).Seconds()
+}
+`,
+			want: [][2]string{
+				{"determinism", "time.Now"},
+				{"determinism", "time.Since"},
+			},
+		},
+		{
+			name: "map range appending to outer slice without sort is flagged",
+			src: `package p
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			want: [][2]string{{"determinism", `range over map "m"`}},
+		},
+		{
+			name: "map range append rescued by a later sort is clean",
+			src: `package p
+import "sort"
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`,
+		},
+		{
+			name: "map range float accumulation is flagged, x++ counting is not",
+			src: `package p
+func Sum(m map[string]float64) (float64, int) {
+	total, n := 0.0, 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return total, n
+}
+`,
+			want: [][2]string{{"determinism", `accumulation into outer "total"`}},
+		},
+		{
+			name: "map range printing is flagged",
+			src: `package p
+import "fmt"
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+			want: [][2]string{{"determinism", "fmt.Println"}},
+		},
+		{
+			name: "map range calling a method on shared state is flagged",
+			src: `package p
+type Sink struct{ xs []string }
+func (s *Sink) Add(x string) { s.xs = append(s.xs, x) }
+func Drain(m map[string]int, s *Sink) {
+	for k := range m {
+		s.Add(k)
+	}
+}
+`,
+			want: [][2]string{{"determinism", "call s.Add on shared state"}},
+		},
+		{
+			name: "order-insensitive map range is clean",
+			src: `package p
+func Has(m map[string]int, want string) bool {
+	found := false
+	for k := range m {
+		if k == want {
+			found = true
+		}
+	}
+	return found
+}
+`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := fixture(t, map[string]string{"internal/p/p.go": tc.src})
+			wantFindings(t, runOne(prog, Determinism()), tc.want)
+		})
+	}
+}
+
+func TestDeterminismSkipsTestFiles(t *testing.T) {
+	prog := fixture(t, map[string]string{
+		"internal/p/p_test.go": `package p
+import "time"
+func now() float64 { return float64(time.Now().Unix()) }
+`,
+	})
+	wantFindings(t, runOne(prog, Determinism()), nil)
+}
+
+// lockFixture is a miniature of the real guarded packages: the import-path
+// suffix and package name make the guardSpec for cluster.Cluster apply.
+const lockClusterSrc = `package cluster
+import "sync"
+type Cluster struct {
+	mu       sync.RWMutex
+	machines []int
+}
+func (c *Cluster) Bad() int { return len(c.machines) }
+func (c *Cluster) Good() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.machines)
+}
+func (c *Cluster) sumLocked() int {
+	n := 0
+	for range c.machines {
+		n++
+	}
+	return n
+}
+func (c *Cluster) Size() int { return 4 }
+`
+
+func TestLockDiscipline(t *testing.T) {
+	t.Run("in-package method without lock or Locked suffix is flagged", func(t *testing.T) {
+		prog := fixture(t, map[string]string{"internal/cluster/cluster.go": lockClusterSrc})
+		wantFindings(t, runOne(prog, LockDiscipline()), [][2]string{
+			{"lockdiscipline", `method Cluster.Bad touches guarded field "machines"`},
+		})
+	})
+	t.Run("out-of-package field access is flagged, method calls are not", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/cluster/cluster.go": lockClusterSrc,
+			"internal/other/other.go": `package other
+import "fixture/internal/cluster"
+func Peek(c *cluster.Cluster) int { return c.Size() }
+`,
+			"internal/other/bad.go": `package other
+import "fixture/internal/cluster"
+func Reach(c *cluster.Cluster) bool { return c.machines != nil }
+`,
+		})
+		wantFindings(t, runOne(prog, LockDiscipline()), [][2]string{
+			{"lockdiscipline", `method Cluster.Bad touches guarded field "machines"`},
+			{"lockdiscipline", "direct access to mutex-guarded cluster.Cluster.machines"},
+		})
+	})
+}
+
+func TestNaNSafety(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want [][2]string
+	}{
+		{
+			name: "raw cost comparison is flagged",
+			src: `package p
+func Best(costs []float64) int {
+	bestIdx, bestCost := 0, costs[0]
+	for i, cost := range costs {
+		if cost < bestCost {
+			bestIdx, bestCost = i, cost
+		}
+	}
+	return bestIdx
+}
+`,
+			want: [][2]string{{"nansafety", `raw < comparison on cost/estimate value "cost"`}},
+		},
+		{
+			name: "IsNaN-guarded argmin is vetted",
+			src: `package p
+import "math"
+func Best(costs []float64) int {
+	bestIdx, bestCost := -1, 0.0
+	for i, cost := range costs {
+		if math.IsNaN(cost) {
+			continue
+		}
+		if bestIdx < 0 || cost < bestCost {
+			bestIdx, bestCost = i, cost
+		}
+	}
+	return bestIdx
+}
+`,
+		},
+		{
+			name: "comparison against a literal threshold is exempt",
+			src: `package p
+func Expensive(cost float64) bool { return cost > 1e9 }
+`,
+		},
+		{
+			name: "math.Min on a cost value is flagged",
+			src: `package p
+import "math"
+func Cap(cost, limit float64) float64 { return math.Min(cost, limit) }
+`,
+			want: [][2]string{{"nansafety", `math.Min on cost/estimate value "cost"`}},
+		},
+		{
+			name: "estRows-style names count as cost-like",
+			src: `package p
+func Smaller(estRows map[string]float64, a, b string) bool {
+	return estRows[a] < estRows[b]
+}
+`,
+			want: [][2]string{{"nansafety", "raw < comparison"}},
+		},
+		{
+			name: "non-cost comparisons are ignored",
+			src: `package p
+func Longer(a, b string) bool { return len(a) > len(b) }
+`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := fixture(t, map[string]string{"internal/p/p.go": tc.src})
+			wantFindings(t, runOne(prog, NaNSafety()), tc.want)
+		})
+	}
+}
+
+func TestErrWrap(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want [][2]string
+	}{
+		{
+			name: "Errorf embedding an error without %w is flagged",
+			src: `package p
+import "fmt"
+func Open(path string) error {
+	err := load(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %v", path, err)
+	}
+	return nil
+}
+func load(string) error { return nil }
+`,
+			want: [][2]string{{"errwrap", "without %w"}},
+		},
+		{
+			name: "Errorf with %w is clean",
+			src: `package p
+import "fmt"
+func Open(path string) error {
+	err := load(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	return nil
+}
+func load(string) error { return nil }
+`,
+		},
+		{
+			name: "re-applying the callee's prefix is flagged",
+			src: `package p
+import (
+	"errors"
+	"fmt"
+)
+var errBoom = errors.New("boom")
+func deployOne(name string) error {
+	return fmt.Errorf("deploy %s: %w", name, errBoom)
+}
+func deployAll(name string) error {
+	err := deployOne(name)
+	return fmt.Errorf("deploy %s: %w", name, err)
+}
+`,
+			want: [][2]string{{"errwrap", `re-prefixes "deploy"`}},
+		},
+		{
+			name: "wrapping with a fresh prefix is clean",
+			src: `package p
+import (
+	"errors"
+	"fmt"
+)
+var errBoom = errors.New("boom")
+func deployOne(name string) error {
+	return fmt.Errorf("deploy %s: %w", name, errBoom)
+}
+func rollout(name string) error {
+	err := deployOne(name)
+	return fmt.Errorf("rollout %s: %w", name, err)
+}
+`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := fixture(t, map[string]string{"internal/p/p.go": tc.src})
+			wantFindings(t, runOne(prog, ErrWrap()), tc.want)
+		})
+	}
+}
+
+func TestAllowlistSuppressesFixtureFinding(t *testing.T) {
+	// The simrand entry is path-scoped: the same violation fires outside the
+	// sanctioned package and is suppressed inside it.
+	files := map[string]string{
+		"internal/simrand/r.go": `package simrand
+import "math/rand"
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`,
+		"internal/p/p.go": `package p
+import "math/rand"
+func Roll() int { return rand.Intn(6) }
+`,
+	}
+	prog := fixture(t, files)
+	raw := runOne(prog, Determinism())
+	if len(raw) != 2 {
+		t.Fatalf("raw findings = %d, want 2:\n%s", len(raw), renderFindings(raw))
+	}
+	filtered := RunAll(prog, []*Analyzer{Determinism()}, DefaultAllowlist())
+	if len(filtered) != 1 || !strings.HasPrefix(filtered[0].Pos.Filename, "internal/p/") {
+		t.Fatalf("filtered = %v, want only the internal/p finding:\n%s", len(filtered), renderFindings(filtered))
+	}
+}
+
+func TestAllowlistRequiresReason(t *testing.T) {
+	f := Finding{Rule: "determinism", Message: "import of math/rand"}
+	f.Pos.Filename = "internal/simrand/r.go"
+	noReason := []AllowEntry{{Rule: "determinism", PathPrefix: "internal/simrand/"}}
+	if Allowed(noReason, f) {
+		t.Fatal("entry without Reason must not suppress findings")
+	}
+	withReason := []AllowEntry{{Rule: "determinism", PathPrefix: "internal/simrand/", Reason: "sanctioned boundary"}}
+	if !Allowed(withReason, f) {
+		t.Fatal("entry with Reason should suppress the matching finding")
+	}
+}
+
+// loadRepo loads the real repository the tests run inside.
+func loadRepo(t *testing.T) *Program {
+	t.Helper()
+	prog, err := LoadProgram("../..")
+	if err != nil {
+		t.Fatalf("LoadProgram(repo): %v", err)
+	}
+	return prog
+}
+
+// TestRepoIsClean is the meta-check ISSUE.md asks for: the full suite with
+// the default allowlist reports nothing on the repository itself.
+func TestRepoIsClean(t *testing.T) {
+	prog := loadRepo(t)
+	findings := RunAll(prog, Analyzers(), DefaultAllowlist())
+	if len(findings) != 0 {
+		t.Fatalf("repo has %d finding(s):\n%s", len(findings), renderFindings(findings))
+	}
+}
+
+// TestAllowlistEntriesAllFire keeps the allowlist honest: every entry must
+// still suppress at least one raw finding, so stale exceptions get deleted
+// instead of accumulating.
+func TestAllowlistEntriesAllFire(t *testing.T) {
+	prog := loadRepo(t)
+	var raw []Finding
+	for _, a := range Analyzers() {
+		raw = append(raw, a.Run(prog)...)
+	}
+	for _, e := range DefaultAllowlist() {
+		matched := false
+		for _, f := range raw {
+			if Allowed([]AllowEntry{e}, f) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("allowlist entry {rule=%s path=%s contains=%q} matches no raw finding — delete it", e.Rule, e.PathPrefix, e.Contains)
+		}
+	}
+}
+
+func TestFindingStringAndSort(t *testing.T) {
+	a := Finding{Rule: "nansafety", Message: "m"}
+	a.Pos.Filename, a.Pos.Line = "b.go", 3
+	b := Finding{Rule: "determinism", Message: "m"}
+	b.Pos.Filename, b.Pos.Line = "a.go", 9
+	c := Finding{Rule: "errwrap", Message: "m"}
+	c.Pos.Filename, c.Pos.Line = "b.go", 3
+
+	if got, want := a.String(), "b.go:3: [nansafety] m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	fs := []Finding{a, b, c}
+	SortFindings(fs)
+	if fs[0].Pos.Filename != "a.go" || fs[1].Rule != "errwrap" || fs[2].Rule != "nansafety" {
+		t.Errorf("SortFindings order wrong: %v", fs)
+	}
+}

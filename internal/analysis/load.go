@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed source file.
+type File struct {
+	// Path is the module-relative slash path, also used as the token.FileSet
+	// name so findings report repo-relative positions.
+	Path string
+	AST  *ast.File
+	// Test marks _test.go files. Analyzers skip them: the contracts target
+	// the production path, and tests legitimately white-box internals.
+	Test bool
+}
+
+// Package groups the files of one package directory (per package name, so a
+// dir holding `foo` and `foo_test` yields two packages).
+type Package struct {
+	// ImportPath is the module-qualified path, e.g. "loam/internal/cluster".
+	ImportPath string
+	Name       string
+	Dir        string // module-relative slash path ("." for the root)
+	Files      []*File
+}
+
+// Program is the fully loaded module plus the syntactic indexes shared by
+// analyzers. Everything is derived from syntax alone — no type checking, no
+// build system, no third-party loaders.
+type Program struct {
+	Fset       *token.FileSet
+	ModulePath string
+	Root       string // absolute module root
+	Packages   []*Package
+
+	// mapFields holds struct field names declared with a map type. The index
+	// is name-keyed (no type checking), so to stay precision-first a name
+	// only counts as map-typed when every struct declaring it agrees — a
+	// field name used both ways (e.g. a slice in one struct, a map in
+	// another) is treated as not-a-map.
+	mapFields map[string]bool
+	// nonMapFields holds struct field names declared with any non-map type,
+	// used to resolve the ambiguity above.
+	nonMapFields map[string]bool
+	// mapFuncs holds function/method names whose single result is a map.
+	mapFuncs map[string]bool
+	// funcNames holds all top-level function (non-method) names.
+	funcNames map[string]bool
+	// wrapPrefixes maps a function/method name to the error-wrap prefix
+	// tokens it applies via fmt.Errorf("prefix ...: %w", ...).
+	wrapPrefixes map[string][]string
+	// fieldTypes maps a struct field name to its named type "pkg.Type" when
+	// the field is declared as T, *T, pkg.T or *pkg.T.
+	fieldTypes map[string]string
+}
+
+// LoadProgram parses every .go file under root (the module root, containing
+// go.mod), skipping vendor/testdata/hidden directories.
+func LoadProgram(root string) (*Program, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), ModulePath: modPath, Root: abs}
+
+	type key struct{ dir, name string }
+	pkgs := map[key]*Package{}
+	var order []key
+
+	walkErr := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			base := d.Name()
+			if path != abs && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") ||
+				base == "vendor" || base == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(abs, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		astf, err := parser.ParseFile(prog.Fset, rel, src, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", rel, err)
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		k := key{dir, astf.Name.Name}
+		p := pkgs[k]
+		if p == nil {
+			imp := modPath
+			if dir != "." {
+				imp = modPath + "/" + dir
+			}
+			p = &Package{ImportPath: imp, Name: astf.Name.Name, Dir: dir}
+			pkgs[k] = p
+			order = append(order, k)
+		}
+		p.Files = append(p.Files, &File{
+			Path: rel,
+			AST:  astf,
+			Test: strings.HasSuffix(rel, "_test.go"),
+		})
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].dir != order[j].dir {
+			return order[i].dir < order[j].dir
+		}
+		return order[i].name < order[j].name
+	})
+	for _, k := range order {
+		p := pkgs[k]
+		sort.Slice(p.Files, func(i, j int) bool { return p.Files[i].Path < p.Files[j].Path })
+		prog.Packages = append(prog.Packages, p)
+	}
+	prog.buildIndexes()
+	return prog, nil
+}
+
+// NewProgram assembles a program from in-memory sources — the test fixture
+// path. files maps module-relative paths (e.g. "internal/foo/foo.go") to
+// source text; the module path is taken as modPath.
+func NewProgram(modPath string, files map[string]string) (*Program, error) {
+	prog := &Program{Fset: token.NewFileSet(), ModulePath: modPath}
+	type key struct{ dir, name string }
+	pkgs := map[key]*Package{}
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, rel := range paths {
+		astf, err := parser.ParseFile(prog.Fset, rel, files[rel], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", rel, err)
+		}
+		dir := filepath.ToSlash(filepath.Dir(rel))
+		k := key{dir, astf.Name.Name}
+		p := pkgs[k]
+		if p == nil {
+			imp := modPath
+			if dir != "." {
+				imp = modPath + "/" + dir
+			}
+			p = &Package{ImportPath: imp, Name: astf.Name.Name, Dir: dir}
+			pkgs[k] = p
+			prog.Packages = append(prog.Packages, p)
+		}
+		p.Files = append(p.Files, &File{Path: rel, AST: astf, Test: strings.HasSuffix(rel, "_test.go")})
+	}
+	prog.buildIndexes()
+	return prog, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}
+
+// buildIndexes derives the program-wide syntactic indexes.
+func (prog *Program) buildIndexes() {
+	prog.mapFields = map[string]bool{}
+	prog.nonMapFields = map[string]bool{}
+	prog.mapFuncs = map[string]bool{}
+	prog.funcNames = map[string]bool{}
+	prog.wrapPrefixes = map[string][]string{}
+	prog.fieldTypes = map[string]string{}
+	prog.eachFile(func(pkg *Package, f *File) {
+		for _, decl := range f.AST.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, name := range fld.Names {
+							if _, ok := fld.Type.(*ast.MapType); ok {
+								prog.mapFields[name.Name] = true
+							} else {
+								prog.nonMapFields[name.Name] = true
+							}
+							if tn := namedTypeString(fld.Type); tn != "" {
+								// Unqualified names resolve within the
+								// declaring package.
+								if !strings.Contains(tn, ".") {
+									tn = pkg.Name + "." + tn
+								}
+								prog.fieldTypes[name.Name] = tn
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					prog.funcNames[d.Name.Name] = true
+				}
+				if d.Type.Results != nil && len(d.Type.Results.List) == 1 {
+					if _, ok := d.Type.Results.List[0].Type.(*ast.MapType); ok {
+						prog.mapFuncs[d.Name.Name] = true
+					}
+				}
+				if d.Body != nil {
+					for _, p := range errorfPrefixes(f, d.Body) {
+						prog.wrapPrefixes[d.Name.Name] = append(prog.wrapPrefixes[d.Name.Name], p)
+					}
+				}
+			}
+		}
+	})
+}
+
+// eachFile visits every file of every package.
+func (prog *Program) eachFile(fn func(*Package, *File)) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			fn(pkg, f)
+		}
+	}
+}
+
+// eachSourceFile visits non-test files only — the surface the contracts
+// cover.
+func (prog *Program) eachSourceFile(fn func(*Package, *File)) {
+	prog.eachFile(func(pkg *Package, f *File) {
+		if !f.Test {
+			fn(pkg, f)
+		}
+	})
+}
+
+// errorfPrefixes collects the wrap-prefix tokens of every
+// fmt.Errorf("prefix ...: ...") call in body.
+func errorfPrefixes(f *File, body *ast.BlockStmt) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgCall(f, call, "fmt", "Errorf") {
+			return true
+		}
+		if tok := wrapPrefixToken(call); tok != "" {
+			out = append(out, tok)
+		}
+		return true
+	})
+	return out
+}
+
+// wrapPrefixToken extracts the leading prefix token of an Errorf format
+// literal: for `fmt.Errorf("deploy %s: %w", name, err)` it returns "deploy".
+// It returns "" when there is no stable textual prefix.
+func wrapPrefixToken(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	format, ok := stringLit(call.Args[0])
+	if !ok {
+		return ""
+	}
+	head, _, found := strings.Cut(format, ":")
+	if !found {
+		return ""
+	}
+	fields := strings.Fields(head)
+	if len(fields) == 0 || strings.Contains(fields[0], "%") {
+		return ""
+	}
+	return fields[0]
+}

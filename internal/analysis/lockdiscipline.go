@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// guardSpec describes one mutex-guarded type: which fields its mutex
+// protects, and where it lives.
+type guardSpec struct {
+	PkgPath string // import path of the owning package
+	PkgName string
+	Type    string   // named type, e.g. "Cluster"
+	Mutex   string   // the guarding mutex field, e.g. "mu"
+	Fields  []string // fields that must only be touched under the mutex
+}
+
+// guardedTypes is the PR-1 concurrency model, spelled out: the serving path
+// may only reach this state through the exported, lock-taking methods.
+var guardedTypes = []guardSpec{
+	{
+		PkgPath: "loam/internal/cluster",
+		PkgName: "cluster",
+		Type:    "Cluster",
+		Mutex:   "mu",
+		Fields:  []string{"machines", "now", "history", "histPos", "histLen", "rng"},
+	},
+	{
+		PkgPath: "loam/internal/history",
+		PkgName: "history",
+		Type:    "Repository",
+		Mutex:   "mu",
+		Fields:  []string{"entries"},
+	},
+}
+
+// LockDiscipline enforces the concurrency model added in PR 1: the
+// mutex-guarded state of cluster.Cluster and history.Repository is only
+// touched (a) inside the owning package, by methods that either take the
+// mutex or carry the `*Locked` suffix marking "caller holds the lock", and
+// (b) never by direct field access from other packages.
+func LockDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "guarded state of cluster.Cluster / history.Repository flows through lock-taking methods",
+		Run:  runLockDiscipline,
+	}
+}
+
+func runLockDiscipline(prog *Program) []Finding {
+	var out []Finding
+	prog.eachSourceFile(func(pkg *Package, f *File) {
+		for _, spec := range guardedTypes {
+			if pkg.ImportPath == spec.PkgPath ||
+				// Fixture programs exercise the rule under their own module
+				// path; match on the package-path suffix.
+				strings.HasSuffix(pkg.ImportPath, "/"+spec.PkgName) && pkg.Name == spec.PkgName {
+				out = append(out, insidePackageFindings(prog, f, spec)...)
+			} else {
+				out = append(out, outsidePackageFindings(prog, f, spec)...)
+			}
+		}
+	})
+	return out
+}
+
+// insidePackageFindings checks the owning package: every method on the
+// guarded type that reads or writes guarded fields must lock the mutex or be
+// named *Locked (the repo's "caller holds the lock" convention).
+func insidePackageFindings(prog *Program, f *File, spec guardSpec) []Finding {
+	var out []Finding
+	guarded := map[string]bool{}
+	for _, g := range spec.Fields {
+		guarded[g] = true
+	}
+	for _, fn := range fileFuncs(f) {
+		fd := fn.Decl
+		if fd.Recv == nil || namedTypeString(fd.Recv.List[0].Type) != spec.Type {
+			continue
+		}
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			continue
+		}
+		if len(fd.Recv.List[0].Names) == 0 {
+			continue
+		}
+		recv := fd.Recv.List[0].Names[0].Name
+		touched, locks := "", false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := v.X.(*ast.Ident); ok && id.Name == recv && guarded[v.Sel.Name] && touched == "" {
+					touched = v.Sel.Name
+				}
+			case *ast.CallExpr:
+				// recv.mu.Lock() / recv.mu.RLock()
+				sel, ok := v.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+					return true
+				}
+				inner, ok := sel.X.(*ast.SelectorExpr)
+				if !ok || inner.Sel.Name != spec.Mutex {
+					return true
+				}
+				if id, ok := inner.X.(*ast.Ident); ok && id.Name == recv {
+					locks = true
+				}
+			}
+			return true
+		})
+		if touched != "" && !locks {
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(fd.Pos()),
+				Rule: "lockdiscipline",
+				Message: fmt.Sprintf("method %s.%s touches guarded field %q without taking %s and is not named *Locked",
+					spec.Type, fd.Name.Name, touched, spec.Mutex),
+				Suggestion: fmt.Sprintf("take %s.%s.Lock/RLock, or rename to %sLocked and document that callers hold the lock", recv, spec.Mutex, fd.Name.Name),
+			})
+		}
+	}
+	return out
+}
+
+// outsidePackageFindings checks every other package: no expression of the
+// guarded type may have its guarded fields (or mutex) accessed directly.
+// Types are resolved syntactically from declared vars, params and the
+// program-wide struct-field index.
+func outsidePackageFindings(prog *Program, f *File, spec guardSpec) []Finding {
+	var out []Finding
+	qualified := spec.PkgName + "." + spec.Type
+	guarded := map[string]bool{spec.Mutex: true}
+	for _, g := range spec.Fields {
+		guarded[g] = true
+	}
+	for _, fn := range fileFuncs(f) {
+		params := paramTypes(fn.Decl)
+		// Locally declared `var x *cluster.Cluster` / `x := ...` with an
+		// explicit type.
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			if tn := namedTypeString(vs.Type); tn != "" {
+				for _, id := range vs.Names {
+					params[id.Name] = tn
+				}
+			}
+			return true
+		})
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !guarded[sel.Sel.Name] {
+				return true
+			}
+			if typeOfExpr(prog, params, sel.X) != qualified {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(sel.Pos()),
+				Rule: "lockdiscipline",
+				Message: fmt.Sprintf("direct access to mutex-guarded %s.%s from outside package %s",
+					qualified, sel.Sel.Name, spec.PkgName),
+				Suggestion: "go through the guarded methods (they take the RWMutex); never reach into the struct",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// typeOfExpr resolves an expression's named type syntactically: identifiers
+// via declared params/vars, selector chains via the program-wide field-name
+// index. Returns "pkg.Type" or "".
+func typeOfExpr(prog *Program, params map[string]string, e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return params[v.Name]
+	case *ast.SelectorExpr:
+		return prog.fieldTypes[v.Sel.Name]
+	case *ast.ParenExpr:
+		return typeOfExpr(prog, params, v.X)
+	case *ast.StarExpr:
+		return typeOfExpr(prog, params, v.X)
+	}
+	return ""
+}

@@ -140,7 +140,7 @@ func New(rng *simrand.RNG, cfg Config) *Cluster {
 			metricRNG: mr.Derive("metrics"),
 		}
 	}
-	c.recordHistory()
+	c.recordHistoryLocked()
 	return c
 }
 
@@ -166,12 +166,12 @@ func (c *Cluster) Advance(seconds float64) {
 	}
 	for s := 0; s < steps; s++ {
 		c.now += SampleInterval
-		c.step()
-		c.recordHistory()
+		c.stepLocked()
+		c.recordHistoryLocked()
 	}
 }
 
-func (c *Cluster) step() {
+func (c *Cluster) stepLocked() {
 	dayFrac := c.now / 86400.0
 	for i := range c.machines {
 		m := &c.machines[i]
@@ -240,9 +240,9 @@ func (c *Cluster) clusterAverageLocked() Metrics {
 	return sum.Scale(1 / float64(len(c.machines)))
 }
 
-// recordHistory appends the current cluster average to the ring buffer;
+// recordHistoryLocked appends the current cluster average to the ring buffer;
 // callers hold the write lock (or, in New, exclusive ownership).
-func (c *Cluster) recordHistory() {
+func (c *Cluster) recordHistoryLocked() {
 	c.history[c.histPos] = c.clusterAverageLocked()
 	c.histPos = (c.histPos + 1) % len(c.history)
 	if c.histLen < len(c.history) {

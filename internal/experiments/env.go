@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"loam"
 	"loam/internal/exec"
@@ -10,6 +9,7 @@ import (
 	"loam/internal/plan"
 	"loam/internal/predictor"
 	"loam/internal/theory"
+	"loam/internal/walltime"
 )
 
 // Env is the shared evaluation environment: one simulation hosting the five
@@ -37,7 +37,7 @@ func NewEnv(cfg Config) *Env {
 	}
 	horizon := cfg.TrainDays + cfg.TestDays
 	for _, spec := range cfg.EvalProjectSpecs() {
-		start := time.Now()
+		sw := walltime.Start()
 		ps := e.Sim.AddProject(loam.ProjectConfig{
 			Name:        spec.Name,
 			Archetype:   spec.Archetype,
@@ -48,7 +48,7 @@ func NewEnv(cfg Config) *Env {
 		e.projects = append(e.projects, ps)
 		cfg.logf("built %s: %d records, %d tables, %d columns (%.1fs)",
 			spec.Name, ps.Repo.Len(), len(ps.Project.Tables), ps.Project.NumColumns(),
-			time.Since(start).Seconds())
+			sw.Seconds())
 	}
 	return e
 }
@@ -120,7 +120,7 @@ func (e *Env) Eval(name string) *ProjectEval {
 	if e.Cfg.EvalQueries > 0 && len(test) > e.Cfg.EvalQueries {
 		test = test[:e.Cfg.EvalQueries]
 	}
-	start := time.Now()
+	sw := walltime.Start()
 	cl := ps.Executor.Cluster
 	for _, entry := range test {
 		ex := ps.Explorer(entry.Record.Day)
@@ -154,7 +154,7 @@ func (e *Env) Eval(name string) *ProjectEval {
 		pe.Queries = append(pe.Queries, eq)
 	}
 	e.Cfg.logf("evaluated %s: %d test queries × ≤5 candidates × %d reps (%.1fs)",
-		name, len(pe.Queries), e.Cfg.EvalReps, time.Since(start).Seconds())
+		name, len(pe.Queries), e.Cfg.EvalReps, sw.Seconds())
 	e.evals[name] = pe
 	return pe
 }
@@ -214,13 +214,13 @@ func (e *Env) Deployment(project string, v Variant) (*loam.Deployment, error) {
 	dcfg.Predictor = e.Cfg.predictorConfig(v.Kind)
 	dcfg.Predictor.Adapt = v.Adapt
 	dcfg.Predictor.UseEnv = v.UseEnv
-	start := time.Now()
+	sw := walltime.Start()
 	dep, err := ps.Deploy(dcfg)
 	if err != nil {
 		return nil, fmt.Errorf("train %s: %w", key, err)
 	}
 	e.Cfg.logf("trained %s: train=%d %.1fs %.1fMB", key, dep.TrainSize,
-		time.Since(start).Seconds(), float64(dep.Predictor.Metrics().ModelBytes)/1e6)
+		sw.Seconds(), float64(dep.Predictor.Metrics().ModelBytes)/1e6)
 	e.deployments[key] = dep
 	return dep, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"loam/internal/floatsafe"
 	"loam/internal/predictor"
 )
 
@@ -57,14 +58,14 @@ func (e *Env) Fig10(f6 *Fig6Result) (*Fig10Result, error) {
 			strategy := s
 			pick := func(q *EvalQuery) int {
 				envs := dep.Predictor.EnvSourceFor(strategy, q.ClusterExpected, q.ClusterCurrent)
-				bestIdx, bestCost := 0, 0.0
+				costs := make([]float64, len(q.Cands))
 				for i, c := range q.Cands {
-					cost := dep.Predictor.PredictCost(c, envs)
-					if i == 0 || cost < bestCost {
-						bestIdx, bestCost = i, cost
-					}
+					costs[i] = dep.Predictor.PredictCost(c, envs)
 				}
-				return bestIdx
+				if best := floatsafe.ArgMin(costs); best >= 0 {
+					return best
+				}
+				return 0 // every estimate NaN: fall back to the default plan
 			}
 			m := evalMethod(pe, s.String(), pick)
 			fp.Cost[s.String()] = m.AvgCost

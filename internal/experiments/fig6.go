@@ -6,8 +6,10 @@ import (
 	"sort"
 	"time"
 
+	"loam/internal/floatsafe"
 	"loam/internal/predictor"
 	"loam/internal/theory"
+	"loam/internal/walltime"
 )
 
 // MethodResult is one learned optimizer's measured behavior on one project.
@@ -63,9 +65,9 @@ func evalMethod(pe *ProjectEval, name string, pick func(q *EvalQuery) int) Metho
 	var inferTime time.Duration
 	for i := range pe.Queries {
 		q := &pe.Queries[i]
-		start := time.Now()
+		sw := walltime.Start()
 		idx := pick(q)
-		inferTime += time.Since(start)
+		inferTime += sw.Elapsed()
 		if idx < 0 || idx >= len(q.Cands) {
 			idx = 0
 		}
@@ -93,14 +95,14 @@ func evalMethod(pe *ProjectEval, name string, pick func(q *EvalQuery) int) Metho
 func pickWith(p *predictor.Predictor, strategy predictor.Strategy, clusterExpected, clusterCurrent [4]float64) func(q *EvalQuery) int {
 	envs := p.EnvSourceFor(strategy, clusterExpected, clusterCurrent)
 	return func(q *EvalQuery) int {
-		bestIdx, bestCost := 0, 0.0
+		costs := make([]float64, len(q.Cands))
 		for i, c := range q.Cands {
-			cost := p.PredictCost(c, envs)
-			if i == 0 || cost < bestCost {
-				bestIdx, bestCost = i, cost
-			}
+			costs[i] = p.PredictCost(c, envs)
 		}
-		return bestIdx
+		if best := floatsafe.ArgMin(costs); best >= 0 {
+			return best
+		}
+		return 0 // every estimate NaN: fall back to the default plan
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"loam/internal/floatsafe"
 	"loam/internal/predictor"
 )
 
@@ -83,7 +84,7 @@ func (r *Fig8Result) Render(w io.Writer) {
 		fmt.Fprintf(w, "%-10s native=%.0f bestAchievable=%.0f\n", fp.Project, fp.Native, fp.BestAchievable)
 		for i, size := range fp.Sizes {
 			marker := ""
-			if fp.Costs[i] < fp.Native {
+			if floatsafe.Less(fp.Costs[i], fp.Native) {
 				marker = "  <- beats native"
 			}
 			fmt.Fprintf(w, "  train=%5d  avgCost=%12.0f%s\n", size, fp.Costs[i], marker)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"loam"
 	"loam/internal/exec"
@@ -10,6 +9,7 @@ import (
 	"loam/internal/simrand"
 	"loam/internal/stats"
 	"loam/internal/theory"
+	"loam/internal/walltime"
 	"loam/internal/warehouse"
 	"loam/internal/workload"
 )
@@ -36,7 +36,7 @@ func (e *Env) Fleet() []*FleetProject {
 	if e.fleet != nil {
 		return e.fleet
 	}
-	start := time.Now()
+	sw := walltime.Start()
 	n := e.Cfg.FleetProjects
 	if n <= 0 {
 		n = 28
@@ -121,7 +121,7 @@ func (e *Env) Fleet() []*FleetProject {
 		}
 		e.fleet = append(e.fleet, fp)
 	}
-	e.Cfg.logf("built fleet: %d projects (%.1fs)", len(e.fleet), time.Since(start).Seconds())
+	e.Cfg.logf("built fleet: %d projects (%.1fs)", len(e.fleet), sw.Seconds())
 	return e.fleet
 }
 

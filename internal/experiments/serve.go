@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"time"
 
 	"loam"
 	"loam/internal/query"
+	"loam/internal/walltime"
 )
 
 // ServeResult measures the §7-style serving deployment: one trained LOAM
@@ -62,12 +62,12 @@ func (e *Env) Serve() (*ServeResult, error) {
 	var baseline []*loam.Choice
 	var seqSeconds float64
 	for _, par := range levels {
-		start := time.Now()
+		sw := walltime.Start()
 		choices, err := dep.OptimizeBatch(qs, par)
 		if err != nil {
 			return nil, fmt.Errorf("serve %s (parallelism %d): %w", project, par, err)
 		}
-		secs := time.Since(start).Seconds()
+		secs := sw.Seconds()
 		if par == 1 {
 			baseline = choices
 			seqSeconds = secs

@@ -10,6 +10,7 @@ package explorer
 import (
 	"sort"
 
+	"loam/internal/floatsafe"
 	"loam/internal/nativeopt"
 	"loam/internal/plan"
 	"loam/internal/query"
@@ -110,8 +111,8 @@ func (e *Explorer) Candidates(q *query.Query) []*plan.Plan {
 		}
 		seen[fp] = true
 		cost := base.RoughCost(p)
-		if e.SafetyFactor > 0 && cost > e.SafetyFactor*defCost {
-			return // drastically-bad candidate by the native estimate
+		if e.SafetyFactor > 0 && !floatsafe.LessEq(cost, e.SafetyFactor*defCost) {
+			return // drastically bad (or NaN) by the native estimate
 		}
 		alts = append(alts, scored{p: p, cost: cost})
 	}
@@ -129,7 +130,7 @@ func (e *Explorer) Candidates(q *query.Query) []*plan.Plan {
 		add(scaled.Optimize(q, nativeopt.Flags{}))
 	}
 
-	sort.Slice(alts, func(i, j int) bool { return alts[i].cost < alts[j].cost })
+	sort.Slice(alts, func(i, j int) bool { return floatsafe.SortLess(alts[i].cost, alts[j].cost) })
 	out := []*plan.Plan{def}
 	limit := len(alts)
 	if e.TopK > 0 && e.TopK-1 < limit {

@@ -1,0 +1,65 @@
+// Package floatsafe provides NaN-explicit comparisons for cost and estimate
+// values. The predictor can emit NaN estimates (degenerate normalization,
+// untrained corners), and a raw `<` between estimates silently makes the NaN
+// operand win or lose a plan choice — every comparison involving NaN is
+// false, so `cand < best` keeps a NaN incumbent forever while
+// `best = NaN` at initialization can never be displaced.
+//
+// The nansafety analyzer in internal/analysis flags raw cost comparisons and
+// points here; these helpers make the NaN policy explicit at every call
+// site: NaN never wins a selection, NaN sorts last, and NaN fails
+// acceptance gates closed.
+package floatsafe
+
+import "math"
+
+// Less reports whether a beats b in a minimization: true iff a is a real
+// number and either b is NaN or a < b. A NaN challenger never wins; a NaN
+// incumbent always loses.
+func Less(a, b float64) bool {
+	if math.IsNaN(a) {
+		return false
+	}
+	return math.IsNaN(b) || a < b
+}
+
+// LessEq is a NaN-closed acceptance check: false if either operand is NaN,
+// else a <= b. Gates that compare a measured cost against a budget fail
+// closed on NaN instead of silently passing (NaN <= x is false) or being
+// reasoned about implicitly.
+func LessEq(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return a <= b
+}
+
+// SortLess is a deterministic strict weak ordering for sort comparators:
+// real numbers ascend, NaNs sort last. Feeding raw `<` with NaN to
+// sort.Slice violates transitivity and yields an order that depends on the
+// input permutation.
+func SortLess(a, b float64) bool {
+	if math.IsNaN(a) {
+		return false
+	}
+	if math.IsNaN(b) {
+		return true
+	}
+	return a < b
+}
+
+// ArgMin returns the index of the smallest non-NaN value, preferring the
+// earliest index on ties (matching the predictor's vetted sequential
+// argmin), or -1 when every value is NaN or the slice is empty.
+func ArgMin(xs []float64) int {
+	best := -1
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if best < 0 || x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,83 @@
+package floatsafe_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"loam/internal/floatsafe"
+)
+
+var nan = math.NaN()
+
+func TestLess(t *testing.T) {
+	tests := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{1, 1, false},
+		{nan, 1, false}, // NaN challenger never wins
+		{1, nan, true},  // NaN incumbent always loses
+		{nan, nan, false},
+	}
+	for _, tc := range tests {
+		if got := floatsafe.Less(tc.a, tc.b); got != tc.want {
+			t.Errorf("Less(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLessEqFailsClosedOnNaN(t *testing.T) {
+	tests := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 2, true},
+		{2, 2, true},
+		{3, 2, false},
+		{nan, 2, false},
+		{2, nan, false},
+		{nan, nan, false},
+	}
+	for _, tc := range tests {
+		if got := floatsafe.LessEq(tc.a, tc.b); got != tc.want {
+			t.Errorf("LessEq(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSortLessOrdersNaNLast(t *testing.T) {
+	xs := []float64{3, nan, 1, nan, 2}
+	sort.Slice(xs, func(i, j int) bool { return floatsafe.SortLess(xs[i], xs[j]) })
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if xs[i] != w {
+			t.Fatalf("sorted = %v, want reals ascending then NaNs", xs)
+		}
+	}
+	if !math.IsNaN(xs[3]) || !math.IsNaN(xs[4]) {
+		t.Fatalf("sorted = %v, want NaNs at the tail", xs)
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want int
+	}{
+		{"plain minimum", []float64{3, 1, 2}, 1},
+		{"earliest index on ties", []float64{2, 1, 1}, 1},
+		{"skips NaN", []float64{nan, 5, 4}, 2},
+		{"all NaN", []float64{nan, nan}, -1},
+		{"empty", nil, -1},
+		{"NaN incumbent cannot block", []float64{nan, 7}, 1},
+	}
+	for _, tc := range tests {
+		if got := floatsafe.ArgMin(tc.xs); got != tc.want {
+			t.Errorf("%s: ArgMin(%v) = %d, want %d", tc.name, tc.xs, got, tc.want)
+		}
+	}
+}

@@ -52,11 +52,11 @@ func (r *Repository) All() []Entry {
 func (r *Repository) Window(fromDay, toDay int) []Entry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.window(fromDay, toDay)
+	return r.windowLocked(fromDay, toDay)
 }
 
-// window filters entries by day; callers hold at least the read lock.
-func (r *Repository) window(fromDay, toDay int) []Entry {
+// windowLocked filters entries by day; callers hold at least the read lock.
+func (r *Repository) windowLocked(fromDay, toDay int) []Entry {
 	out := make([]Entry, 0, len(r.entries))
 	for _, e := range r.entries {
 		if e.Record.Day >= fromDay && e.Record.Day < toDay {
@@ -118,11 +118,11 @@ func Dedup(entries []Entry) []Entry {
 func (r *Repository) Split(trainDays, testDays, maxTrain int) (train, test []Entry) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	train = Dedup(r.window(0, trainDays))
+	train = Dedup(r.windowLocked(0, trainDays))
 	if maxTrain > 0 && len(train) > maxTrain {
 		train = train[:maxTrain]
 	}
-	test = Dedup(r.window(trainDays, trainDays+testDays))
+	test = Dedup(r.windowLocked(trainDays, trainDays+testDays))
 	return train, test
 }
 

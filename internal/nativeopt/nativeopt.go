@@ -16,6 +16,7 @@ import (
 
 	"loam/internal/cardinality"
 	"loam/internal/expr"
+	"loam/internal/floatsafe"
 	"loam/internal/plan"
 	"loam/internal/query"
 	"loam/internal/stats"
@@ -340,7 +341,7 @@ func (b *builder) joinOrder() []string {
 	}
 	first := tables[0]
 	for _, t := range tables[1:] {
-		if estRows[t] < estRows[first] {
+		if floatsafe.Less(estRows[t], estRows[first]) {
 			first = t
 		}
 	}

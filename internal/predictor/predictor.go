@@ -12,12 +12,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"time"
 
 	"loam/internal/encoding"
 	"loam/internal/nn"
 	"loam/internal/plan"
 	"loam/internal/simrand"
+	"loam/internal/walltime"
 	"loam/internal/xgb"
 )
 
@@ -118,7 +118,7 @@ func Train(cfg Config, enc *encoding.Encoder, train []Sample, candPlans []*plan.
 	if len(train) == 0 {
 		return nil, ErrNoTrainingData
 	}
-	start := time.Now()
+	sw := walltime.Start()
 	p := &Predictor{cfg: cfg, enc: enc, encCfg: enc.Config()}
 	p.fitNormalization(train)
 	p.fitMeanEnv(train)
@@ -127,7 +127,7 @@ func Train(cfg Config, enc *encoding.Encoder, train []Sample, candPlans []*plan.
 		if err := p.trainXGB(train); err != nil {
 			return nil, err
 		}
-		p.metrics.TrainSeconds = time.Since(start).Seconds()
+		p.metrics.TrainSeconds = sw.Seconds()
 		p.metrics.ModelBytes = p.xgbModel.SizeBytes()
 		return p, nil
 	}
@@ -152,7 +152,7 @@ func Train(cfg Config, enc *encoding.Encoder, train []Sample, candPlans []*plan.
 
 	p.trainLoop(rng, opt, train, candPlans)
 
-	p.metrics.TrainSeconds = time.Since(start).Seconds()
+	p.metrics.TrainSeconds = sw.Seconds()
 	p.metrics.ModelBytes = nn.ParamBytes(params)
 	p.metrics.Epochs = cfg.Epochs
 	return p, nil

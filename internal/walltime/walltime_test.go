@@ -1,0 +1,32 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"loam/internal/walltime"
+)
+
+func TestStopwatchIsNonNegativeAndMonotone(t *testing.T) {
+	sw := walltime.Start()
+	if s := sw.Seconds(); s < 0 {
+		t.Fatalf("Seconds() = %v, want >= 0", s)
+	}
+	first := sw.Elapsed()
+	if first < 0 {
+		t.Fatalf("Elapsed() = %v, want >= 0", first)
+	}
+	second := sw.Elapsed()
+	if second < first {
+		t.Fatalf("Elapsed() went backwards: %v then %v", first, second)
+	}
+}
+
+func TestSecondsMatchesElapsed(t *testing.T) {
+	sw := walltime.Start()
+	secs := sw.Seconds()
+	dur := sw.Elapsed()
+	// Seconds was read first, so it can be at most Elapsed's value.
+	if secs > dur.Seconds() {
+		t.Fatalf("Seconds() = %v exceeds later Elapsed() = %v", secs, dur.Seconds())
+	}
+}

@@ -3,6 +3,7 @@ package loam
 import (
 	"fmt"
 
+	"loam/internal/floatsafe"
 	"loam/internal/selector"
 	"loam/internal/theory"
 )
@@ -137,6 +138,6 @@ func (d *Deployment) Validate(cfg ValidationConfig) (*ValidationResult, error) {
 	if impCount > 0 {
 		res.ImprovementSpace = impSum / float64(impCount)
 	}
-	res.Accepted = res.SelectedCost <= res.NativeCost*(1+cfg.MaxRegression)
+	res.Accepted = floatsafe.LessEq(res.SelectedCost, res.NativeCost*(1+cfg.MaxRegression))
 	return res, nil
 }
