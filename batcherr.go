@@ -1,0 +1,80 @@
+package loam
+
+import (
+	"fmt"
+	"strings"
+
+	"loam/internal/query"
+)
+
+// BatchError is one query's failure inside OptimizeBatch: which batch index
+// failed, the query itself, and the underlying cause.
+type BatchError struct {
+	Index int
+	Query *query.Query
+	Err   error
+}
+
+// Error formats the failure with its batch position.
+func (e *BatchError) Error() string {
+	id := "?"
+	if e.Query != nil {
+		id = e.Query.ID
+	}
+	return fmt.Sprintf("batch[%d] %s: %v", e.Index, id, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// BatchErrors is OptimizeBatch's typed error surface: one entry per failed
+// query, in batch order. It replaces the PR-1 errors.Join blob — callers
+// can now tell WHICH queries failed and why without parsing message text:
+//
+//	var be loam.BatchErrors
+//	if errors.As(err, &be) {
+//	    for _, e := range be { retry(e.Index, e.Query) }
+//	}
+//
+// errors.Is sees through both levels (BatchErrors → BatchError → cause), so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// predictor.ErrNoCandidates) keep working.
+type BatchErrors []*BatchError
+
+// Error summarizes the failures: the count plus the first few entries.
+func (es BatchErrors) Error() string {
+	const show = 3
+	parts := make([]string, 0, show+1)
+	for i, e := range es {
+		if i == show {
+			parts = append(parts, fmt.Sprintf("... and %d more", len(es)-show))
+			break
+		}
+		parts = append(parts, e.Error())
+	}
+	return fmt.Sprintf("optimize batch: %d queries failed: %s", len(es), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes every per-query failure to errors.Is / errors.As.
+func (es BatchErrors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// batchError assembles the typed error surface from per-index failures,
+// or nil when everything succeeded.
+func batchError(qs []*query.Query, errs []error) error {
+	var es BatchErrors
+	for i, err := range errs {
+		if err != nil {
+			es = append(es, &BatchError{Index: i, Query: qs[i], Err: err})
+		}
+	}
+	if len(es) == 0 {
+		return nil
+	}
+	return es
+}

@@ -1,6 +1,7 @@
 package loam_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -320,7 +321,7 @@ func BenchmarkOptimizeBatch(b *testing.B) {
 			dep, qs := getServeBench(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := dep.OptimizeBatch(qs, par); err != nil {
+				if _, err := dep.OptimizeBatch(context.Background(), qs, par); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3|serve]
-//	           [-seed N] [-scale F] [-epochs N] [-eval N] [-tiny] [-quiet]
+//	           [-seed N] [-scale F] [-epochs N] [-eval N] [-tiny] [-quiet] [-metrics]
 //
 // Each experiment prints the same rows/series the paper reports; absolute
 // numbers come from the simulator, shapes are the reproduction target (see
@@ -39,6 +39,7 @@ func run(args []string, out, errw io.Writer) error {
 		evalQ   = fs.Int("eval", 0, "override test queries per project (0 = default)")
 		tiny    = fs.Bool("tiny", false, "tiny configuration for smoke runs")
 		quiet   = fs.Bool("quiet", false, "suppress progress logging")
+		metrics = fs.Bool("metrics", false, "dump the combined telemetry snapshot after the experiments")
 	)
 	fs.SetOutput(errw)
 	if err := fs.Parse(args); err != nil {
@@ -183,6 +184,15 @@ func run(args []string, out, errw io.Writer) error {
 			return err
 		}
 		r.Render(out)
+	}
+
+	if *metrics {
+		// The snapshot is deterministic (stable-ordered, no wall-clock
+		// values): identically-seeded runs print identical metrics sections.
+		section("metrics")
+		if err := env.Metrics().WriteText(out); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "\ntotal: %.1fs\n", sw.Seconds())

@@ -33,6 +33,71 @@ func TestRunThm1AndFig15(t *testing.T) {
 	}
 }
 
+// metricsSection extracts the demarcated metrics dump from a full run's
+// output; everything around it (wall-clock totals, serving throughput) is
+// timing-dependent and excluded from the determinism comparison.
+func metricsSection(t *testing.T, s string) string {
+	t.Helper()
+	_, rest, ok := strings.Cut(s, "==== metrics ====")
+	if !ok {
+		t.Fatalf("no metrics section in output:\n%s", s)
+	}
+	body, _, _ := strings.Cut(rest, "\ntotal:")
+	return body
+}
+
+// TestRunServeMetricsDeterministic is the acceptance check for the -metrics
+// flag: the serve experiment runs with telemetry on, the dump is non-empty
+// and stable-ordered, and two identically-seeded runs print byte-identical
+// metrics sections despite parallel serving and wall-clock jitter.
+func TestRunServeMetricsDeterministic(t *testing.T) {
+	bench := func() string {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-tiny", "-quiet", "-run", "serve", "-metrics"}, &out, &errw); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+		}
+		return out.String()
+	}
+	first := bench()
+	sec := metricsSection(t, first)
+	for _, want := range []string{
+		"counter serve.optimize.total",
+		"counter train.runs 1",
+		"counter exec.executions",
+		"gauge cluster.cpu_idle",
+		"timer serve.optimize.latency",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Fatalf("metrics section missing %q:\n%s", want, sec)
+		}
+	}
+	// Stable order: the text exposition sorts each section by name.
+	names := counterNames(sec)
+	if len(names) < 5 {
+		t.Fatalf("suspiciously few counters: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("counters not name-sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	if again := metricsSection(t, bench()); again != sec {
+		t.Fatalf("same-seed metrics sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sec, again)
+	}
+}
+
+// counterNames lists the counter names in exposition order.
+func counterNames(sec string) []string {
+	var names []string
+	for _, line := range strings.Split(sec, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "counter" {
+			names = append(names, fields[1])
+		}
+	}
+	return names
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &out, &errw); err == nil {

@@ -9,6 +9,12 @@
 //
 //	loam-inspect [-seed N] [-day N] [-section catalog|stats|templates|query|all]
 //	             [-template N] [-tables N] [-statsprob F]
+//	loam-inspect metrics [-seed N]
+//
+// The metrics section (also reachable as -section metrics) is opt-in and not
+// part of "all": it runs a small end-to-end demo — history, a tiny training
+// run, a handful of steered queries — and dumps the combined telemetry
+// snapshot plus the reporting-only wall timings.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"loam/internal/exec"
 	"loam/internal/nativeopt"
 	"loam/internal/stats"
+	"loam/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +52,12 @@ func run(args []string, out, errw io.Writer) error {
 	fs.SetOutput(errw)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if fs.NArg() > 0 {
+		if fs.NArg() > 1 || fs.Arg(0) != "metrics" {
+			return fmt.Errorf("unknown arguments %q (the only subcommand is \"metrics\")", fs.Args())
+		}
+		*section = "metrics"
 	}
 
 	sim := loam.NewSimulation(*seed, loam.DefaultSimulationConfig())
@@ -74,7 +87,44 @@ func run(args []string, out, errw io.Writer) error {
 			return err
 		}
 	}
+	// Opt-in only: the metrics demo trains a model, so it never rides along
+	// with "all".
+	if *section == "metrics" {
+		if err := metricsDemo(out, sim, ps); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// metricsDemo exercises the full pipeline against the simulation's shared
+// registry — production history, a tiny training run, a few steered queries —
+// then dumps the deterministic snapshot and the wall timings.
+func metricsDemo(out io.Writer, sim *loam.Simulation, ps *loam.ProjectSim) error {
+	ps.RunDays(0, 8)
+	dcfg := loam.DefaultDeployConfig()
+	dcfg.TrainDays = 6
+	dcfg.TestDays = 2
+	dcfg.DomainPlans = 32
+	dcfg.Predictor.Epochs = 3
+	dep, err := ps.Deploy(dcfg, loam.WithMetrics(sim.Telemetry()))
+	if err != nil {
+		return err
+	}
+	for i, q := range ps.Gen.Day(6) {
+		if i == 5 {
+			break
+		}
+		if _, err := dep.Optimize(q); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "== metrics (deterministic snapshot) ==\n")
+	if err := dep.Metrics().WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n== wall timings (reporting-only, excluded from the snapshot) ==\n")
+	return telemetry.WriteWallText(out, dep.Telemetry().WallTimings())
 }
 
 func catalog(out io.Writer, ps *loam.ProjectSim, day int) {

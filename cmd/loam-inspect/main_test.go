@@ -42,3 +42,47 @@ func TestInspectBadTemplate(t *testing.T) {
 		t.Fatal("out-of-range template accepted")
 	}
 }
+
+// TestInspectMetricsSubcommand runs the opt-in metrics demo via the
+// positional subcommand and checks both the deterministic snapshot and the
+// reporting-only wall timings appear.
+func TestInspectMetricsSubcommand(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tables", "8", "metrics"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"== metrics (deterministic snapshot) ==",
+		"counter serve.optimize.total 5",
+		"counter train.runs 1",
+		"== wall timings",
+		"serve.optimize.latency",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "== catalog") {
+		t.Fatal("metrics demo should not drag other sections along")
+	}
+}
+
+// TestInspectAllOmitsMetrics pins the opt-in contract: -section all must not
+// run the (training) metrics demo.
+func TestInspectAllOmitsMetrics(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tables", "10"}, &out, &errw); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "== metrics") {
+		t.Fatal("metrics demo ran under -section all")
+	}
+}
+
+func TestInspectRejectsUnknownSubcommand(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"bogus"}, &out, &errw); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}

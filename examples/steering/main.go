@@ -7,9 +7,11 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"loam"
+	"loam/internal/predictor"
 	"loam/internal/stats"
 )
 
@@ -34,7 +36,12 @@ func main() {
 	dcfg := loam.DefaultDeployConfig()
 	dcfg.TrainDays = 13
 	dcfg.TestDays = 3
-	dep, err := ps.Deploy(dcfg)
+	// Deploy options: share the simulation's registry so the closing metrics
+	// dump covers substrate, training and serving in one snapshot, and pick
+	// the §5 mean-environment strategy explicitly.
+	dep, err := ps.Deploy(dcfg,
+		loam.WithStrategy(predictor.StrategyMeanEnv),
+		loam.WithMetrics(sim.Telemetry()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,5 +92,10 @@ func main() {
 	if totalDef > 0 {
 		fmt.Printf("aggregate CPU cost: steered %.0f vs default %.0f (%.1f%% saved)\n",
 			totalGot, totalDef, (1-totalGot/totalDef)*100)
+	}
+
+	fmt.Println("\ntelemetry snapshot (deterministic):")
+	if err := sim.Metrics().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -19,7 +19,12 @@ type FleetResult struct {
 //
 // Results are returned in project order. A project whose training fails
 // (e.g. no history) carries its error; others are unaffected.
-func (s *Simulation) DeployAll(cfg DeployConfig, parallelism int) []FleetResult {
+//
+// Deploy options apply to every project's deployment. Note that sharing one
+// registry via WithMetrics across parallel trainings keeps counters and
+// histograms exact but makes last-write-wins training gauges depend on
+// completion order (see WithMetrics).
+func (s *Simulation) DeployAll(cfg DeployConfig, parallelism int, opts ...DeployOption) []FleetResult {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -35,7 +40,7 @@ func (s *Simulation) DeployAll(cfg DeployConfig, parallelism int) []FleetResult 
 				ps := s.Projects[i]
 				// ps.Deploy already wraps failures as "deploy <name>: …";
 				// wrapping again here would double the prefix.
-				dep, err := ps.Deploy(cfg)
+				dep, err := ps.Deploy(cfg, opts...)
 				results[i] = FleetResult{Project: ps.Config.Name, Deployment: dep, Err: err}
 			}
 		}()
@@ -55,7 +60,7 @@ func (s *Simulation) DeployAll(cfg DeployConfig, parallelism int) []FleetResult 
 //
 // scores maps project name → estimated improvement space (e.g. from a
 // trained selector.Ranker); projects absent from scores rank last.
-func (s *Simulation) SelectAndDeploy(cfg DeployConfig, pass func(*ProjectSim) bool, scores map[string]float64, topN int, parallelism int) []FleetResult {
+func (s *Simulation) SelectAndDeploy(cfg DeployConfig, pass func(*ProjectSim) bool, scores map[string]float64, topN int, parallelism int, opts ...DeployOption) []FleetResult {
 	type scored struct {
 		ps    *ProjectSim
 		score float64
@@ -77,9 +82,9 @@ func (s *Simulation) SelectAndDeploy(cfg DeployConfig, pass func(*ProjectSim) bo
 		survivors = survivors[:topN]
 	}
 
-	sub := &Simulation{Cluster: s.Cluster, rng: s.rng}
+	sub := &Simulation{Cluster: s.Cluster, rng: s.rng, tel: s.tel}
 	for _, sv := range survivors {
 		sub.Projects = append(sub.Projects, sv.ps)
 	}
-	return sub.DeployAll(cfg, parallelism)
+	return sub.DeployAll(cfg, parallelism, opts...)
 }

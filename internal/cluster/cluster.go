@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"loam/internal/simrand"
+	"loam/internal/telemetry"
 )
 
 // SampleInterval is how often machine metrics are sampled, in seconds,
@@ -112,6 +113,42 @@ type Cluster struct {
 	history []Metrics
 	histPos int
 	histLen int
+
+	tel clusterTelemetry
+}
+
+// clusterTelemetry holds the cluster's resolved instruments. All fields are
+// nil-safe no-ops until Instrument wires a registry, so the hot path never
+// branches on "is telemetry enabled".
+type clusterTelemetry struct {
+	cpuIdle  *telemetry.Gauge
+	ioWait   *telemetry.Gauge
+	load5    *telemetry.Gauge
+	memUsage *telemetry.Gauge
+	now      *telemetry.Gauge
+	machines *telemetry.Gauge
+	steps    *telemetry.Counter
+}
+
+// Instrument wires the cluster's load/utilization gauges into reg: the
+// cluster-average CPU_IDLE, IO_WAIT, normalized LOAD5 and MEM_USAGE are
+// refreshed at every sample step (piggybacking on the history recording, so
+// instrumentation adds no extra pool scan), along with the simulated clock
+// and a step counter. Call before concurrent use.
+func (c *Cluster) Instrument(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = clusterTelemetry{
+		cpuIdle:  reg.Gauge("cluster.cpu_idle"),
+		ioWait:   reg.Gauge("cluster.io_wait"),
+		load5:    reg.Gauge("cluster.load5_norm"),
+		memUsage: reg.Gauge("cluster.mem_usage"),
+		now:      reg.Gauge("cluster.now_seconds"),
+		machines: reg.Gauge("cluster.machines"),
+		steps:    reg.Counter("cluster.steps"),
+	}
+	c.tel.machines.Set(float64(len(c.machines)))
+	c.refreshTelemetryLocked(c.clusterAverageLocked())
 }
 
 // New builds a cluster with the given config, deterministic in rng.
@@ -240,14 +277,30 @@ func (c *Cluster) clusterAverageLocked() Metrics {
 	return sum.Scale(1 / float64(len(c.machines)))
 }
 
-// recordHistoryLocked appends the current cluster average to the ring buffer;
-// callers hold the write lock (or, in New, exclusive ownership).
+// recordHistoryLocked appends the current cluster average to the ring buffer
+// and refreshes the utilization gauges from the same scan; callers hold the
+// write lock (or, in New, exclusive ownership).
 func (c *Cluster) recordHistoryLocked() {
-	c.history[c.histPos] = c.clusterAverageLocked()
+	avg := c.clusterAverageLocked()
+	c.history[c.histPos] = avg
 	c.histPos = (c.histPos + 1) % len(c.history)
 	if c.histLen < len(c.history) {
 		c.histLen++
 	}
+	c.refreshTelemetryLocked(avg)
+}
+
+// refreshTelemetryLocked publishes the cluster-average metrics to the wired
+// gauges; callers hold the lock. Gauge values are functions of simulated
+// state only, so snapshots stay seed-deterministic.
+func (c *Cluster) refreshTelemetryLocked(avg Metrics) {
+	norm := avg.Normalized()
+	c.tel.cpuIdle.Set(norm[0])
+	c.tel.ioWait.Set(norm[1])
+	c.tel.load5.Set(norm[2])
+	c.tel.memUsage.Set(norm[3])
+	c.tel.now.Set(c.now)
+	c.tel.steps.Inc()
 }
 
 // HistoryAverage returns the mean cluster-wide metrics over the recorded

@@ -9,6 +9,7 @@ import (
 	"loam/internal/cluster"
 	"loam/internal/plan"
 	"loam/internal/simrand"
+	"loam/internal/telemetry"
 	"loam/internal/warehouse"
 )
 
@@ -72,6 +73,31 @@ type Executor struct {
 	mu      sync.Mutex
 	rng     *simrand.RNG
 	counter int
+	tel     execTelemetry
+}
+
+// execTelemetry holds the executor's resolved instruments; nil-safe no-ops
+// until Instrument wires a registry.
+type execTelemetry struct {
+	executions *telemetry.Counter
+	stages     *telemetry.Counter
+	instances  *telemetry.Counter
+	stageCost  *telemetry.Histogram
+}
+
+// Instrument wires substrate-level execution metrics into reg: executed
+// plans, stage and instance counts, and a per-stage CPU-cost distribution.
+// All of them are order-independent aggregates, so identically-seeded
+// single-driver runs snapshot identically. Call before concurrent use.
+func (ex *Executor) Instrument(reg *telemetry.Registry) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.tel = execTelemetry{
+		executions: reg.Counter("exec.executions"),
+		stages:     reg.Counter("exec.stages"),
+		instances:  reg.Counter("exec.instances"),
+		stageCost:  reg.Histogram("exec.stage.cost", telemetry.ExpBuckets(1e3, 10, 9)),
+	}
 }
 
 // NewExecutor builds an executor. The RNG seeds execution noise only; the
@@ -136,6 +162,8 @@ func (ex *Executor) Execute(p *plan.Plan, day int, opt Options) *Record {
 	_, perStage, d, _ := ex.Work(p, day)
 
 	ex.counter++
+	ex.tel.executions.Inc()
+	ex.tel.stages.Add(int64(len(d.Stages)))
 	rec := &Record{
 		QueryID:    fmt.Sprintf("q%08d", ex.counter),
 		Day:        day,
@@ -180,6 +208,8 @@ func (ex *Executor) Execute(p *plan.Plan, day int, opt Options) *Record {
 		rec.StageEnvs[i] = env
 		rec.StageCosts[i] = cost
 		rec.CPUCost += cost
+		ex.tel.stageCost.Observe(cost)
+		ex.tel.instances.Add(int64(s.Instances))
 
 		// End-to-end latency is far noisier than CPU cost (§3): stages queue
 		// behind other tenants' work and suffer straggler instances, both

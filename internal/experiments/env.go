@@ -8,6 +8,7 @@ import (
 	"loam/internal/history"
 	"loam/internal/plan"
 	"loam/internal/predictor"
+	"loam/internal/telemetry"
 	"loam/internal/theory"
 	"loam/internal/walltime"
 )
@@ -52,6 +53,17 @@ func NewEnv(cfg Config) *Env {
 	}
 	return e
 }
+
+// Metrics returns a deterministic snapshot of the environment's combined
+// telemetry: cluster gauges, executor counters, and the training and serving
+// metrics of every deployment trained through Env.Deployment (they all share
+// the simulation's registry).
+func (e *Env) Metrics() telemetry.Snapshot { return e.Sim.Metrics() }
+
+// Telemetry returns the environment's shared registry, e.g. for wall-clock
+// timings (Registry.WallTimings), which are reporting-only and never part of
+// the deterministic snapshot.
+func (e *Env) Telemetry() *telemetry.Registry { return e.Sim.Telemetry() }
 
 // Projects returns the evaluation projects in Table-1 order.
 func (e *Env) Projects() []*loam.ProjectSim { return e.projects }
@@ -215,7 +227,9 @@ func (e *Env) Deployment(project string, v Variant) (*loam.Deployment, error) {
 	dcfg.Predictor.Adapt = v.Adapt
 	dcfg.Predictor.UseEnv = v.UseEnv
 	sw := walltime.Start()
-	dep, err := ps.Deploy(dcfg)
+	// Route the deployment's telemetry into the simulation's registry so one
+	// snapshot (Env.Metrics) covers substrate, training and serving.
+	dep, err := ps.Deploy(dcfg, loam.WithMetrics(e.Sim.Telemetry()))
 	if err != nil {
 		return nil, fmt.Errorf("train %s: %w", key, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -63,7 +64,7 @@ func (e *Env) Serve() (*ServeResult, error) {
 	var seqSeconds float64
 	for _, par := range levels {
 		sw := walltime.Start()
-		choices, err := dep.OptimizeBatch(qs, par)
+		choices, err := dep.OptimizeBatch(context.Background(), qs, par)
 		if err != nil {
 			return nil, fmt.Errorf("serve %s (parallelism %d): %w", project, par, err)
 		}

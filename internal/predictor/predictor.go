@@ -17,6 +17,7 @@ import (
 	"loam/internal/nn"
 	"loam/internal/plan"
 	"loam/internal/simrand"
+	"loam/internal/telemetry"
 	"loam/internal/walltime"
 	"loam/internal/xgb"
 )
@@ -98,6 +99,52 @@ type Predictor struct {
 	trainMeanEnv [4]float64
 
 	metrics Metrics
+	tel     predictorTelemetry
+}
+
+// predictorTelemetry holds the predictor's resolved instruments; every field
+// is a nil-safe no-op until Instrument wires a registry, so untelemetered
+// predictors pay nothing. Telemetry is runtime wiring, never serialized:
+// Save/Load ignore it, and restored predictors re-wire via Instrument.
+type predictorTelemetry struct {
+	trainRuns     *telemetry.Counter
+	trainSamples  *telemetry.Counter
+	trainDomain   *telemetry.Counter
+	adaptSteps    *telemetry.Counter
+	epochCostLoss *telemetry.Histogram
+	finalCostLoss *telemetry.Gauge
+	finalDomLoss  *telemetry.Gauge
+	trainTime     *telemetry.Timer
+
+	selectCalls      *telemetry.Counter
+	selectEmpty      *telemetry.Counter
+	selectNaN        *telemetry.Counter
+	selectNoFinite   *telemetry.Counter
+	selectCandidates *telemetry.Histogram
+	selectTime       *telemetry.Timer
+}
+
+// Instrument wires the predictor's training and plan-selection metrics into
+// reg. Safe to call on a freshly loaded predictor before serving; must not
+// race with in-flight SelectPlan calls.
+func (p *Predictor) Instrument(reg *telemetry.Registry) {
+	p.tel = predictorTelemetry{
+		trainRuns:     reg.Counter("train.runs"),
+		trainSamples:  reg.Counter("train.samples"),
+		trainDomain:   reg.Counter("train.domain_plans"),
+		adaptSteps:    reg.Counter("train.adapt_steps"),
+		epochCostLoss: reg.Histogram("train.epoch_cost_loss", telemetry.ExpBuckets(1e-3, 10, 7)),
+		finalCostLoss: reg.Gauge("train.final_cost_loss"),
+		finalDomLoss:  reg.Gauge("train.final_dom_loss"),
+		trainTime:     reg.Timer("train.time"),
+
+		selectCalls:      reg.Counter("predictor.selectplan.calls"),
+		selectEmpty:      reg.Counter("predictor.selectplan.empty"),
+		selectNaN:        reg.Counter("predictor.selectplan.nan_estimates"),
+		selectNoFinite:   reg.Counter("predictor.selectplan.no_finite"),
+		selectCandidates: reg.Histogram("predictor.selectplan.candidates", telemetry.LinearBuckets(1, 1, 8)),
+		selectTime:       reg.Timer("predictor.selectplan.time"),
+	}
 }
 
 // ErrNoTrainingData is returned when the training set is empty.
@@ -115,11 +162,25 @@ var ErrNoFiniteEstimate = errors.New("predictor: no candidate has a finite cost 
 // labels (§4, Adaptive Training Paradigm). It may be empty when cfg.Adapt is
 // false.
 func Train(cfg Config, enc *encoding.Encoder, train []Sample, candPlans []*plan.Plan) (*Predictor, error) {
+	return TrainInstrumented(cfg, enc, train, candPlans, nil)
+}
+
+// TrainInstrumented is Train reporting into a telemetry registry: sample and
+// domain-plan counts, per-epoch cost losses, adversarial adaptation steps,
+// final losses, and wall training time (count deterministic, seconds
+// reporting-only). A nil registry trains silently.
+func TrainInstrumented(cfg Config, enc *encoding.Encoder, train []Sample, candPlans []*plan.Plan, reg *telemetry.Registry) (*Predictor, error) {
 	if len(train) == 0 {
 		return nil, ErrNoTrainingData
 	}
 	sw := walltime.Start()
 	p := &Predictor{cfg: cfg, enc: enc, encCfg: enc.Config()}
+	p.Instrument(reg)
+	p.tel.trainRuns.Inc()
+	p.tel.trainSamples.Add(int64(len(train)))
+	p.tel.trainDomain.Add(int64(len(candPlans)))
+	span := p.tel.trainTime.Start()
+	defer span.Stop()
 	p.fitNormalization(train)
 	p.fitMeanEnv(train)
 
@@ -242,9 +303,15 @@ func (p *Predictor) trainLoop(rng *simrand.RNG, opt *nn.Adam, train []Sample, ca
 
 			p.metrics.FinalCostLoss = costLoss.Data[0]
 			p.metrics.FinalDomLoss = domLossVal
+			if adapt {
+				p.tel.adaptSteps.Inc()
+			}
 		}
+		p.tel.epochCostLoss.Observe(p.metrics.FinalCostLoss)
 		opt.DecayLR(cfg.LRDecay)
 	}
+	p.tel.finalCostLoss.Set(p.metrics.FinalCostLoss)
+	p.tel.finalDomLoss.Set(p.metrics.FinalDomLoss)
 }
 
 func (p *Predictor) trainXGB(train []Sample) error {
@@ -420,9 +487,14 @@ func (p *Predictor) SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (bes
 // runtime.GOMAXPROCS(0), 1 forces the sequential path (used by benchmarks to
 // compare against), and anything larger bounds the scoring pool.
 func (p *Predictor) SelectPlanParallel(cands []*plan.Plan, envs encoding.EnvSource, workers int) (best *plan.Plan, costs []float64, err error) {
+	p.tel.selectCalls.Inc()
 	if len(cands) == 0 {
+		p.tel.selectEmpty.Inc()
 		return nil, nil, ErrNoCandidates
 	}
+	p.tel.selectCandidates.Observe(float64(len(cands)))
+	span := p.tel.selectTime.Start()
+	defer span.Stop()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -453,15 +525,19 @@ func (p *Predictor) SelectPlanParallel(cands []*plan.Plan, envs encoding.EnvSour
 		wg.Wait()
 	}
 	bestIdx := -1
+	nans := int64(0)
 	for i := range costs {
 		if math.IsNaN(costs[i]) {
+			nans++
 			continue
 		}
 		if bestIdx < 0 || costs[i] < costs[bestIdx] {
 			bestIdx = i
 		}
 	}
+	p.tel.selectNaN.Add(nans)
 	if bestIdx < 0 {
+		p.tel.selectNoFinite.Inc()
 		return nil, costs, ErrNoFiniteEstimate
 	}
 	return cands[bestIdx], costs, nil

@@ -23,7 +23,7 @@
 package loam
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -38,6 +38,7 @@ import (
 	"loam/internal/query"
 	"loam/internal/simrand"
 	"loam/internal/stats"
+	"loam/internal/telemetry"
 	"loam/internal/warehouse"
 	"loam/internal/workload"
 )
@@ -84,16 +85,36 @@ type Simulation struct {
 	Projects []*ProjectSim
 
 	rng *simrand.RNG
+	tel *telemetry.Registry
 }
 
-// NewSimulation builds a simulation, deterministic in seed.
+// NewSimulation builds a simulation, deterministic in seed. The simulation
+// carries a telemetry registry instrumenting the substrate — cluster
+// load/utilization gauges and per-execution stage counts — which Metrics
+// snapshots and Telemetry exposes for sharing with deployments.
 func NewSimulation(seed uint64, cfg SimulationConfig) *Simulation {
 	rng := simrand.New(seed)
+	tel := telemetry.NewRegistry()
+	cl := cluster.New(rng.Derive("cluster"), cfg.Cluster)
+	cl.Instrument(tel)
 	return &Simulation{
-		Cluster: cluster.New(rng.Derive("cluster"), cfg.Cluster),
+		Cluster: cl,
 		rng:     rng,
+		tel:     tel,
 	}
 }
+
+// Telemetry returns the simulation's metrics registry. Pass it to
+// deployments via WithMetrics to aggregate substrate, training and serving
+// metrics into one snapshot.
+func (s *Simulation) Telemetry() *telemetry.Registry { return s.tel }
+
+// Metrics returns a deterministic, stable-ordered snapshot of the
+// simulation's registry: cluster gauges (refreshed at every simulated sample
+// step), executor counters, and anything deployments sharing the registry
+// have reported. Identically-seeded, single-driver runs snapshot
+// byte-identically (see internal/telemetry).
+func (s *Simulation) Metrics() telemetry.Snapshot { return s.tel.Snapshot() }
 
 // AddProject generates a project from its config and attaches it to the
 // simulation.
@@ -112,6 +133,7 @@ func (s *Simulation) AddProject(cfg ProjectConfig) *ProjectSim {
 		rng:      prng,
 		views:    map[int]*stats.View{},
 	}
+	ps.Executor.Instrument(s.tel)
 	s.Projects = append(s.Projects, ps)
 	return ps
 }
@@ -229,23 +251,48 @@ func DefaultDeployConfig() DeployConfig {
 
 // Deployment is a trained LOAM instance serving one project. Once trained it
 // is safe for concurrent use: Optimize, OptimizeBatch and ExecuteChoice may
-// be called from multiple goroutines against the same deployment (mutating
-// Strategy concurrently with serving is not).
+// be called from multiple goroutines against the same deployment (changing
+// the strategy concurrently with serving is not — call SetStrategy between
+// serving phases).
 type Deployment struct {
 	ProjectSim *ProjectSim
 	Predictor  *predictor.Predictor
 	Encoder    *encoding.Encoder
-	Strategy   predictor.Strategy
+	// Strategy is the live inference strategy. It stays exported for reading;
+	// set it via WithStrategy at deploy time or SetStrategy afterwards.
+	Strategy predictor.Strategy
 
 	TrainSize int
 	TestSet   []history.Entry
+
+	tel *telemetry.Registry
+	obs servingTelemetry
 }
+
+// SetStrategy switches the deployment's inference strategy (§5). Like the
+// old direct field write it replaces, it must not race with in-flight
+// Optimize calls; switch between serving phases.
+func (d *Deployment) SetStrategy(s predictor.Strategy) { d.Strategy = s }
+
+// Telemetry returns the deployment's metrics registry — the private one
+// created at deploy time, or whatever WithMetrics wired in. Use it for wall
+// timings (Registry.WallTimings) or to share with other deployments.
+func (d *Deployment) Telemetry() *telemetry.Registry { return d.tel }
+
+// Metrics returns a deterministic, stable-ordered snapshot of the
+// deployment's registry: serving counters and histograms, training losses,
+// and plan-selection statistics. Wall-clock readings are deliberately
+// excluded so identically-seeded runs snapshot byte-identically (see
+// internal/telemetry).
+func (d *Deployment) Metrics() telemetry.Snapshot { return d.tel.Snapshot() }
 
 // Deploy trains an adaptive cost predictor from the project's history and
 // returns a serving deployment. The training set is the deduplicated default
 // plans of the first TrainDays; unexecuted candidate plans generated by the
-// explorer align the domains (§4).
-func (ps *ProjectSim) Deploy(cfg DeployConfig) (*Deployment, error) {
+// explorer align the domains (§4). Options shape the deployment: WithStrategy
+// picks the inference strategy, WithMetrics routes telemetry into a shared
+// registry (default: a fresh private one).
+func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deployment, error) {
 	train, test := ps.Repo.Split(cfg.TrainDays, cfg.TestDays, cfg.MaxTrain)
 	if len(train) == 0 {
 		return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, predictor.ErrNoTrainingData)
@@ -277,7 +324,8 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig) (*Deployment, error) {
 		}
 	}
 
-	pred, err := predictor.Train(cfg.Predictor, enc, samples, domain)
+	o := resolveDeployOptions(opts)
+	pred, err := predictor.TrainInstrumented(cfg.Predictor, enc, samples, domain, o.metrics)
 	if err != nil {
 		return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
 	}
@@ -285,9 +333,11 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig) (*Deployment, error) {
 		ProjectSim: ps,
 		Predictor:  pred,
 		Encoder:    enc,
-		Strategy:   predictor.StrategyMeanEnv,
+		Strategy:   o.strategy,
 		TrainSize:  len(train),
 		TestSet:    test,
+		tel:        o.metrics,
+		obs:        newServingTelemetry(o.metrics),
 	}, nil
 }
 
@@ -307,14 +357,39 @@ type Choice struct {
 //
 // Optimize is safe for concurrent use: candidate generation reads immutable
 // statistics views, the environment source reads the cluster under a shared
-// lock, and plan scoring is read-only on the trained model.
+// lock, and plan scoring is read-only on the trained model. It is a thin
+// wrapper over OptimizeCtx with a background context.
 func (d *Deployment) Optimize(q *query.Query) (*Choice, error) {
+	return d.OptimizeCtx(context.Background(), q)
+}
+
+// OptimizeCtx is Optimize with cancellation: a canceled or expired ctx makes
+// it return ctx.Err() promptly, checked on entry and again between candidate
+// generation and plan scoring. The call also feeds the serving telemetry —
+// latency, candidate counts, estimate spread, NaN estimates, and error
+// counters — into the deployment's registry.
+func (d *Deployment) OptimizeCtx(ctx context.Context, q *query.Query) (*Choice, error) {
+	if err := ctx.Err(); err != nil {
+		d.obs.optimizeCancels.Inc()
+		return nil, err
+	}
+	d.obs.optimizeTotal.Inc()
+	span := d.obs.optimizeLatency.Start()
+	defer span.Stop()
+
 	cands := d.ProjectSim.Explorer(q.Day).Candidates(q)
+	d.obs.candidates.Observe(float64(len(cands)))
+	if err := ctx.Err(); err != nil {
+		d.obs.optimizeCancels.Inc()
+		return nil, err
+	}
 	envs := d.envSource()
 	chosen, costs, err := d.Predictor.SelectPlan(cands, envs)
 	if err != nil {
+		d.obs.optimizeErrors.Inc()
 		return nil, fmt.Errorf("optimize %s: %w", d.ProjectSim.Config.Name, err)
 	}
+	d.obs.observeEstimates(costs)
 	idx := 0
 	for i := range cands {
 		if cands[i] == chosen {
@@ -326,13 +401,21 @@ func (d *Deployment) Optimize(q *query.Query) (*Choice, error) {
 }
 
 // OptimizeBatch steers a batch of queries, running up to parallelism
-// Optimize calls concurrently (≤1 means sequential) — the paper's §7 serving
-// deployment, where a fleet of optimizer frontends scores plans against one
-// live cluster. Choices are returned in query order; a query that fails to
-// optimize leaves a nil choice and contributes to the joined error. The
-// parallel path chooses exactly the same plans as the sequential path: plan
-// scoring is deterministic and per-query independent.
-func (d *Deployment) OptimizeBatch(qs []*query.Query, parallelism int) ([]*Choice, error) {
+// OptimizeCtx calls concurrently (≤1 means sequential) — the paper's §7
+// serving deployment, where a fleet of optimizer frontends scores plans
+// against one live cluster. Choices are returned in query order; a query
+// that fails to optimize leaves a nil choice and contributes a BatchError to
+// the returned BatchErrors. The parallel path chooses exactly the same plans
+// as the sequential path: plan scoring is deterministic and per-query
+// independent.
+//
+// Cancelling ctx stops the batch promptly: queries not yet started are
+// abandoned with nil choices and per-query BatchError entries wrapping
+// ctx.Err(), so errors.Is(err, context.Canceled) reports the cancellation.
+func (d *Deployment) OptimizeBatch(ctx context.Context, qs []*query.Query, parallelism int) ([]*Choice, error) {
+	d.obs.batchTotal.Inc()
+	d.obs.batchQueries.Add(int64(len(qs)))
+	d.obs.batchSize.Observe(float64(len(qs)))
 	choices := make([]*Choice, len(qs))
 	errs := make([]error, len(qs))
 	if parallelism > len(qs) {
@@ -340,9 +423,13 @@ func (d *Deployment) OptimizeBatch(qs []*query.Query, parallelism int) ([]*Choic
 	}
 	if parallelism <= 1 {
 		for i, q := range qs {
-			choices[i], errs[i] = d.Optimize(q)
+			if err := ctx.Err(); err != nil {
+				fillUnstarted(errs, i, err)
+				break
+			}
+			choices[i], errs[i] = d.OptimizeCtx(ctx, q)
 		}
-		return choices, errors.Join(errs...)
+		return choices, batchError(qs, errs)
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -351,16 +438,31 @@ func (d *Deployment) OptimizeBatch(qs []*query.Query, parallelism int) ([]*Choic
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				choices[i], errs[i] = d.Optimize(qs[i])
+				choices[i], errs[i] = d.OptimizeCtx(ctx, qs[i])
 			}
 		}()
 	}
+feed:
 	for i := range qs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Indices >= i were never dispatched, so no worker touches them:
+			// mark them abandoned before waiting the workers out.
+			fillUnstarted(errs, i, ctx.Err())
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return choices, errors.Join(errs...)
+	return choices, batchError(qs, errs)
+}
+
+// fillUnstarted marks batch indices [from, len) as abandoned with err.
+func fillUnstarted(errs []error, from int, err error) {
+	for i := from; i < len(errs); i++ {
+		errs[i] = err
+	}
 }
 
 // envSource resolves the deployment's inference strategy against the live
@@ -398,19 +500,25 @@ func (d *Deployment) SaveModel(w io.Writer) error { return d.Predictor.Save(w) }
 // window serves as the deployment's validation test set (as in Deploy). The
 // deployment's encoder is rebuilt from the encoder configuration serialized
 // with the model, not from the package default, so a model trained under a
-// non-default encoding keeps its feature layout after restore.
-func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int) (*Deployment, error) {
+// non-default encoding keeps its feature layout after restore. Options work
+// as in Deploy; the restored predictor's plan-selection telemetry is wired
+// into the resolved registry.
+func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts ...DeployOption) (*Deployment, error) {
 	pred, err := predictor.Load(r)
 	if err != nil {
 		return nil, fmt.Errorf("restore %s: %w", ps.Config.Name, err)
 	}
+	o := resolveDeployOptions(opts)
+	pred.Instrument(o.metrics)
 	train, test := ps.Repo.Split(trainDays, testDays, 0)
 	return &Deployment{
 		ProjectSim: ps,
 		Predictor:  pred,
 		Encoder:    encoding.NewEncoder(pred.EncoderConfig()),
-		Strategy:   predictor.StrategyMeanEnv,
+		Strategy:   o.strategy,
 		TrainSize:  len(train),
 		TestSet:    test,
+		tel:        o.metrics,
+		obs:        newServingTelemetry(o.metrics),
 	}, nil
 }

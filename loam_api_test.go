@@ -138,14 +138,19 @@ func TestDeploymentStrategySwitch(t *testing.T) {
 	dcfg.TestDays = 1
 	dcfg.Predictor.Epochs = 2
 	dcfg.DomainPlans = 4
-	dep, err := ps.Deploy(dcfg)
+	dep, err := ps.Deploy(dcfg, WithStrategy(predictor.StrategyClusterCurrent))
 	if err != nil {
 		t.Fatal(err)
 	}
+	if dep.Strategy != predictor.StrategyClusterCurrent {
+		t.Fatalf("WithStrategy not applied, got %v", dep.Strategy)
+	}
 	q := ps.Gen.Day(5)[0]
-	dep.Strategy = predictor.StrategyClusterCurrent
 	c1, err1 := dep.Optimize(q)
-	dep.Strategy = predictor.StrategyMeanEnv
+	dep.SetStrategy(predictor.StrategyMeanEnv)
+	if dep.Strategy != predictor.StrategyMeanEnv {
+		t.Fatalf("SetStrategy not applied, got %v", dep.Strategy)
+	}
 	c2, err2 := dep.Optimize(q)
 	if err1 != nil || err2 != nil {
 		t.Fatalf("optimize errors: %v / %v", err1, err2)

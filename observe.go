@@ -1,0 +1,66 @@
+package loam
+
+import (
+	"math"
+
+	"loam/internal/telemetry"
+)
+
+// servingTelemetry holds the deployment's resolved serving-path instruments.
+// Every field is a nil-safe no-op when no registry is wired, and every value
+// that reaches a snapshot is an order-independent aggregate, so parallel
+// OptimizeBatch runs snapshot identically to sequential ones (the telemetry
+// contract, DESIGN.md).
+type servingTelemetry struct {
+	optimizeTotal   *telemetry.Counter
+	optimizeErrors  *telemetry.Counter
+	optimizeCancels *telemetry.Counter
+	optimizeLatency *telemetry.Timer
+	candidates      *telemetry.Histogram
+	estimateSpread  *telemetry.Histogram
+	nanEstimates    *telemetry.Counter
+	batchTotal      *telemetry.Counter
+	batchQueries    *telemetry.Counter
+	batchSize       *telemetry.Histogram
+}
+
+// newServingTelemetry resolves the serving instruments from a registry.
+func newServingTelemetry(reg *telemetry.Registry) servingTelemetry {
+	return servingTelemetry{
+		optimizeTotal:   reg.Counter("serve.optimize.total"),
+		optimizeErrors:  reg.Counter("serve.optimize.errors"),
+		optimizeCancels: reg.Counter("serve.optimize.canceled"),
+		optimizeLatency: reg.Timer("serve.optimize.latency"),
+		candidates:      reg.Histogram("serve.candidates", telemetry.LinearBuckets(1, 1, 8)),
+		estimateSpread:  reg.Histogram("serve.estimate.rel_spread", []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 5}),
+		nanEstimates:    reg.Counter("serve.estimates.nan"),
+		batchTotal:      reg.Counter("serve.batch.total"),
+		batchQueries:    reg.Counter("serve.batch.queries"),
+		batchSize:       reg.Histogram("serve.batch.size", telemetry.ExpBuckets(1, 4, 7)),
+	}
+}
+
+// observeEstimates records estimate-quality signals for one choice: how many
+// candidate estimates were NaN, and the relative spread (max−min)/min of the
+// finite ones — a wide spread means steering had real headroom to exploit,
+// a zero spread means the candidates were indistinguishable to the model.
+func (t servingTelemetry) observeEstimates(estimates []float64) {
+	lo, hi := math.NaN(), math.NaN()
+	nans := int64(0)
+	for _, v := range estimates {
+		if math.IsNaN(v) {
+			nans++
+			continue
+		}
+		if math.IsNaN(lo) || v < lo {
+			lo = v
+		}
+		if math.IsNaN(hi) || v > hi {
+			hi = v
+		}
+	}
+	t.nanEstimates.Add(nans)
+	if !math.IsNaN(lo) && lo > 0 {
+		t.estimateSpread.Observe((hi - lo) / lo)
+	}
+}

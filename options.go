@@ -1,0 +1,51 @@
+package loam
+
+import (
+	"loam/internal/predictor"
+	"loam/internal/telemetry"
+)
+
+// DeployOption configures a deployment at Deploy / DeployFromModel /
+// DeployAll time. Options replace post-hoc field mutation as the way to
+// shape a deployment: the Strategy field stays readable, but writes go
+// through WithStrategy (at deploy time) or SetStrategy (afterwards).
+type DeployOption func(*deployOptions)
+
+// deployOptions is the resolved option set.
+type deployOptions struct {
+	strategy predictor.Strategy
+	metrics  *telemetry.Registry
+}
+
+// resolveDeployOptions applies opts over the defaults: the paper's MeanEnv
+// inference strategy (§5) and a fresh private metrics registry.
+func resolveDeployOptions(opts []DeployOption) deployOptions {
+	o := deployOptions{
+		strategy: predictor.StrategyMeanEnv,
+		metrics:  telemetry.NewRegistry(),
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// WithStrategy selects the deployment's inference strategy (§5, §7.2.5)
+// instead of the default StrategyMeanEnv.
+func WithStrategy(s predictor.Strategy) DeployOption {
+	return func(o *deployOptions) { o.strategy = s }
+}
+
+// WithMetrics routes the deployment's telemetry — serving counters and
+// latency timers, training losses, plan-selection statistics — into reg
+// instead of a fresh private registry. Pass one registry to several
+// deployments (or a Simulation's registry, see Simulation.Telemetry) to
+// aggregate a fleet into one snapshot; instruments are concurrency-safe, and
+// every snapshot value stays order-independent, but sharing one registry
+// across concurrently TRAINING deployments makes last-write-wins gauges
+// (train.final_cost_loss) depend on completion order.
+func WithMetrics(reg *telemetry.Registry) DeployOption {
+	return func(o *deployOptions) { o.metrics = reg }
+}

@@ -1,9 +1,14 @@
 package loam
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"loam/internal/predictor"
 	"loam/internal/query"
 )
 
@@ -107,7 +112,7 @@ func TestConcurrentExecuteChoice(t *testing.T) {
 // same choices in the same order at every parallelism level.
 func TestOptimizeBatchMatchesSequential(t *testing.T) {
 	dep, qs := serveDeployment(t, 33, 10)
-	seq, err := dep.OptimizeBatch(qs, 1)
+	seq, err := dep.OptimizeBatch(context.Background(), qs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +120,7 @@ func TestOptimizeBatchMatchesSequential(t *testing.T) {
 		t.Fatalf("batch returned %d choices for %d queries", len(seq), len(qs))
 	}
 	for _, parallelism := range []int{2, 4, 16} {
-		par, err := dep.OptimizeBatch(qs, parallelism)
+		par, err := dep.OptimizeBatch(context.Background(), qs, parallelism)
 		if err != nil {
 			t.Fatalf("parallelism=%d: %v", parallelism, err)
 		}
@@ -133,6 +138,162 @@ func TestOptimizeBatchMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestOptimizeBatchCanceledBeforeStart feeds an already-canceled context:
+// every choice must come back nil, and the error must be a BatchErrors whose
+// entries all wrap context.Canceled — on the sequential and parallel paths.
+func TestOptimizeBatchCanceledBeforeStart(t *testing.T) {
+	dep, qs := serveDeployment(t, 35, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallelism := range []int{1, 4} {
+		choices, err := dep.OptimizeBatch(ctx, qs, parallelism)
+		if err == nil {
+			t.Fatalf("parallelism=%d: want error from canceled batch", parallelism)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism=%d: errors.Is(err, context.Canceled) = false for %v", parallelism, err)
+		}
+		var be BatchErrors
+		if !errors.As(err, &be) {
+			t.Fatalf("parallelism=%d: error is %T, want BatchErrors", parallelism, err)
+		}
+		if len(be) != len(qs) {
+			t.Fatalf("parallelism=%d: %d batch errors, want %d", parallelism, len(be), len(qs))
+		}
+		for i := range qs {
+			if choices[i] != nil {
+				t.Fatalf("parallelism=%d: non-nil choice %d for unstarted query", parallelism, i)
+			}
+			if be[i].Index != i || be[i].Query != qs[i] {
+				t.Fatalf("parallelism=%d: entry %d misattributed: index %d query %p", parallelism, i, be[i].Index, be[i].Query)
+			}
+			if !errors.Is(be[i], context.Canceled) {
+				t.Fatalf("parallelism=%d: entry %d does not wrap context.Canceled: %v", parallelism, i, be[i])
+			}
+		}
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err checks — a
+// deterministic way to land a cancellation mid-batch on the sequential path
+// (which polls Err, never Done).
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestOptimizeBatchCancelMidBatchSequential cancels deterministically after
+// the first query: query 0 must succeed, every later query must be abandoned
+// with a nil choice and a context.Canceled batch entry.
+func TestOptimizeBatchCancelMidBatchSequential(t *testing.T) {
+	dep, qs := serveDeployment(t, 36, 5)
+	// Checks per query: one at the loop top, two inside OptimizeCtx. after=4
+	// lets query 0 through and trips during query 1's entry check.
+	ctx := &countdownCtx{Context: context.Background(), after: 4}
+	choices, err := dep.OptimizeBatch(ctx, qs, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if choices[0] == nil || choices[0].Chosen == nil {
+		t.Fatal("query 0 should have completed before the cancel")
+	}
+	var be BatchErrors
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want BatchErrors", err)
+	}
+	if len(be) != len(qs)-1 {
+		t.Fatalf("%d batch errors, want %d", len(be), len(qs)-1)
+	}
+	for i := 1; i < len(qs); i++ {
+		if choices[i] != nil {
+			t.Fatalf("choice %d should be nil after cancel", i)
+		}
+	}
+}
+
+// TestOptimizeBatchCancelInFlight cancels concurrently with a parallel batch
+// and checks the invariants that must hold wherever the cancel lands: the
+// call returns, every nil choice has a matching batch entry, and any error
+// reports context.Canceled.
+func TestOptimizeBatchCancelInFlight(t *testing.T) {
+	dep, qs := serveDeployment(t, 37, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var choices []*Choice
+	var err error
+	go func() {
+		defer close(done)
+		choices, err = dep.OptimizeBatch(ctx, qs, 2)
+	}()
+	cancel()
+	<-done
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected batch error: %v", err)
+	}
+	failed := map[int]bool{}
+	var be BatchErrors
+	if err != nil {
+		if !errors.As(err, &be) {
+			t.Fatalf("error is %T, want BatchErrors", err)
+		}
+		for _, e := range be {
+			failed[e.Index] = true
+		}
+	}
+	for i := range qs {
+		if (choices[i] == nil) != failed[i] {
+			t.Fatalf("query %d: nil-choice/error mismatch (nil=%v, failed=%v)", i, choices[i] == nil, failed[i])
+		}
+	}
+}
+
+// TestBatchErrorSurface pins the typed error surface itself: attribution,
+// formatting, and errors.Is/As traversal through both levels.
+func TestBatchErrorSurface(t *testing.T) {
+	_, ps := tinyProject(t, 38)
+	q0 := ps.Gen.Templates[0].Instantiate(ps.Rng("be"), 0)
+	q1 := ps.Gen.Templates[1].Instantiate(ps.Rng("be"), 0)
+	qs := []*query.Query{q0, q1}
+
+	if err := batchError(qs, []error{nil, nil}); err != nil {
+		t.Fatalf("all-nil batch should yield nil error, got %v", err)
+	}
+
+	cause := predictor.ErrNoCandidates
+	err := batchError(qs, []error{nil, cause})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("errors.Is does not reach the cause: %v", err)
+	}
+	var be BatchErrors
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want BatchErrors", err)
+	}
+	if len(be) != 1 || be[0].Index != 1 || be[0].Query != q1 {
+		t.Fatalf("misattributed: %+v", be)
+	}
+	var one *BatchError
+	if !errors.As(err, &one) || one.Index != 1 {
+		t.Fatalf("errors.As(*BatchError) failed: %v", err)
+	}
+	if !strings.Contains(err.Error(), "batch[1]") || !strings.Contains(err.Error(), "1 queries failed") {
+		t.Fatalf("unexpected message %q", err.Error())
+	}
+	if !strings.Contains(one.Error(), q1.ID) {
+		t.Fatalf("entry message %q lacks query id %q", one.Error(), q1.ID)
 	}
 }
 
