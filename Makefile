@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint lint-fix-hints verify
+.PHONY: build test race bench lint lint-fix-hints chaos verify
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,8 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # lint runs stock go vet plus loam-vet, the repo's own analyzer suite
-# (internal/analysis): determinism, lockdiscipline, nansafety, errwrap.
-# See DESIGN.md "Static analysis & code contracts".
+# (internal/analysis): determinism, lockdiscipline, nansafety, errwrap,
+# guarddiscipline. See DESIGN.md "Static analysis & code contracts".
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/loam-vet ./...
@@ -27,4 +27,11 @@ lint:
 lint-fix-hints:
 	$(GO) run ./cmd/loam-vet -hints ./...
 
-verify: build lint test race
+# chaos re-runs the resilience suite — fault injection, circuit-breaker
+# transitions, quarantine, forced outages — under the race detector. It
+# overlaps `race` on purpose: a focused, fast loop for iterating on the
+# guarded serving layer (see DESIGN.md "Degraded-mode serving contract").
+chaos:
+	$(GO) test -race -count=1 -run 'Guard|Breaker|Quarantine|Fault|Outage|Inject' ./...
+
+verify: build lint test race chaos

@@ -98,6 +98,71 @@ func counterNames(sec string) []string {
 	return names
 }
 
+// TestRunGuardMetricsDeterministic is the acceptance check for the guarded
+// serving experiment: `-run guard` walks the breaker through trip → cooldown
+// → half-open probe → recovery with 100% availability, the guard.* counters
+// render in the stable-ordered metrics dump, and two identically-seeded runs
+// print byte-identical guard sections and metrics sections.
+func TestRunGuardMetricsDeterministic(t *testing.T) {
+	bench := func() string {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-tiny", "-quiet", "-run", "guard", "-metrics"}, &out, &errw); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+		}
+		return out.String()
+	}
+	first := bench()
+	for _, want := range []string{
+		"==== guard ====",
+		"availability 100%",
+		"trip(s)",
+		"half-open probe window(s)",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("guard section missing %q:\n%s", want, first)
+		}
+	}
+	sec := metricsSection(t, first)
+	for _, want := range []string{
+		"counter guard.serve.total 30",
+		"counter guard.serve.learned 15",
+		"counter guard.fallback.native 15",
+		"counter guard.fallback.reason.breaker_open",
+		"counter guard.fallback.reason.predictor_error",
+		"counter guard.inject.predictor_errors",
+		"counter guard.breaker.opened 2",
+		"counter guard.breaker.half_opened 2",
+		"counter guard.breaker.closed 1",
+		"gauge guard.breaker.state",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Fatalf("metrics section missing %q:\n%s", want, sec)
+		}
+	}
+	names := counterNames(sec)
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("counters not name-sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	second := bench()
+	guardSection := func(s string) string {
+		_, rest, ok := strings.Cut(s, "==== guard ====")
+		if !ok {
+			t.Fatalf("no guard section:\n%s", s)
+		}
+		body, _, _ := strings.Cut(rest, "====")
+		return body
+	}
+	if guardSection(second) != guardSection(first) {
+		t.Fatalf("same-seed guard sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			guardSection(first), guardSection(second))
+	}
+	if again := metricsSection(t, second); again != sec {
+		t.Fatalf("same-seed metrics sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sec, again)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &out, &errw); err == nil {

@@ -82,9 +82,19 @@ func run(args []string, out, errw io.Writer) error {
 		defCost := ps.Executor.Flight(choice.Candidates[0], day, 1, ps.ExecOptions(q))
 		totalDefault += defCost
 		totalChosen += rec.CPUCost
-		fmt.Fprintf(out, "%-28s cands=%d chosen=#%d est=%-10.0f actual=%-10.0f default=%-10.0f knobs=%v\n",
-			q.ID, len(choice.Candidates), choice.ChosenIdx,
-			choice.Estimates[choice.ChosenIdx], rec.CPUCost, defCost, choice.Chosen.Knobs)
+		// Fallback choices carry no learned estimate (and a native re-plan
+		// has no candidate index): render the gaps instead of indexing.
+		est := "-"
+		idx := "-"
+		if choice.ChosenIdx >= 0 {
+			idx = fmt.Sprintf("#%d", choice.ChosenIdx)
+		}
+		if choice.Origin == loam.OriginLearned {
+			est = fmt.Sprintf("%.0f", choice.Estimates[choice.ChosenIdx])
+		}
+		fmt.Fprintf(out, "%-28s cands=%d chosen=%-3s origin=%-16s est=%-10s actual=%-10.0f default=%-10.0f knobs=%v\n",
+			q.ID, len(choice.Candidates), idx, choice.Origin,
+			est, rec.CPUCost, defCost, choice.Chosen.Knobs)
 		if *verbose {
 			fmt.Fprint(out, choice.Chosen.String())
 		}

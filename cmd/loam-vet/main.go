@@ -1,5 +1,6 @@
 // Command loam-vet runs the repo's custom static-analysis suite
-// (internal/analysis): determinism, lockdiscipline, nansafety and errwrap.
+// (internal/analysis): determinism, lockdiscipline, nansafety, errwrap and
+// guarddiscipline.
 // It loads every package under the module root with stdlib go/parser — no
 // build, no dependencies — and exits 1 on any finding not covered by the
 // commented allowlist.

@@ -11,6 +11,9 @@
 //   - nansafety: no raw float comparisons on cost/estimate values where a
 //     NaN operand would silently win or lose a plan choice
 //   - errwrap: errors are wrapped with %w and never double-prefixed
+//   - guarddiscipline: predictor plan scoring outside internal/guard and
+//     internal/predictor flows through the serving guard (guard.Guard), so
+//     deadline, circuit breaker and quarantine cannot be bypassed
 //
 // Findings are reported as "file:line: [rule] message". Intentional
 // exceptions live in the commented allowlist (see allowlist.go), never in
@@ -54,6 +57,7 @@ func Analyzers() []*Analyzer {
 		LockDiscipline(),
 		NaNSafety(),
 		ErrWrap(),
+		GuardDiscipline(),
 	}
 }
 

@@ -383,6 +383,61 @@ func rollout(name string) error {
 	}
 }
 
+func TestGuardDiscipline(t *testing.T) {
+	predictorSrc := `package predictor
+type Predictor struct{}
+func (p *Predictor) SelectPlan(cands []int, envs int) (int, []float64, error) { return 0, nil, nil }
+func (p *Predictor) SelectPlanParallel(cands []int, envs, workers int) (int, []float64, error) { return 0, nil, nil }
+`
+	t.Run("raw SelectPlan outside the guard is flagged", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/predictor/predictor.go": predictorSrc,
+			"serve.go": `package root
+import "fixture/internal/predictor"
+func Serve(p *predictor.Predictor) { p.SelectPlan(nil, 0) }
+func ServePar(p *predictor.Predictor) { p.SelectPlanParallel(nil, 0, 4) }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), [][2]string{
+			{"guarddiscipline", "p.SelectPlan bypasses the serving guard"},
+			{"guarddiscipline", "p.SelectPlanParallel bypasses the serving guard"},
+		})
+	})
+	t.Run("the guard and predictor packages are exempt", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/predictor/predictor.go": predictorSrc,
+			"internal/predictor/inner.go": `package predictor
+func (p *Predictor) score() { p.SelectPlan(nil, 0) }
+`,
+			"internal/guard/guard.go": `package guard
+import "fixture/internal/predictor"
+func Serve(p *predictor.Predictor) { p.SelectPlan(nil, 0) }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), nil)
+	})
+	t.Run("test files are exempt", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/predictor/predictor.go": predictorSrc,
+			"bench_test.go": `package root
+import "fixture/internal/predictor"
+func probe(p *predictor.Predictor) { p.SelectPlan(nil, 0) }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), nil)
+	})
+	t.Run("unrelated selectors do not fire", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"serve.go": `package root
+type planner struct{}
+func (planner) SelectPlans() {}
+func use(p planner) { p.SelectPlans() }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), nil)
+	})
+}
+
 func TestAllowlistSuppressesFixtureFinding(t *testing.T) {
 	// The simrand entry is path-scoped: the same violation fires outside the
 	// sanctioned package and is suppressed inside it.

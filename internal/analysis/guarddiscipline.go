@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// GuardDiscipline enforces the guarded-serving contract: outside
+// internal/guard and internal/predictor themselves, nothing calls the
+// predictor's SelectPlan / SelectPlanParallel directly. Every serving-path
+// score must flow through guard.Guard — Serve for guarded serving, or
+// ScoreLearned where raw model failures must surface (validation) — so the
+// deadline watchdog, circuit breaker and regression sentinel cannot be
+// bypassed by a new call site. Test files are exempt (eachSourceFile skips
+// them): tests and benchmarks probe the raw model on purpose.
+func GuardDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "guarddiscipline",
+		Doc:  "predictor plan scoring outside internal/guard flows through guard.Guard",
+		Run:  runGuardDiscipline,
+	}
+}
+
+// guardExemptSuffixes are the package-path tails allowed to touch the raw
+// scoring entry points: the guard (it owns the call) and the predictor (it
+// implements it). Suffix matching keeps fixture programs, which load under
+// their own module path, subject to the same rule.
+var guardExemptSuffixes = []string{"/internal/guard", "/internal/predictor"}
+
+func runGuardDiscipline(prog *Program) []Finding {
+	var out []Finding
+	prog.eachSourceFile(func(pkg *Package, f *File) {
+		if guardExempt(pkg.ImportPath) {
+			return
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "SelectPlan" && name != "SelectPlanParallel" {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(call.Pos()),
+				Rule: "guarddiscipline",
+				Message: fmt.Sprintf("%s.%s bypasses the serving guard: deadline, circuit breaker and quarantine do not apply here",
+					exprString(sel.X), name),
+				Suggestion: "route through guard.Guard — Serve for guarded serving, ScoreLearned where raw model errors must surface",
+			})
+			return true
+		})
+	})
+	return out
+}
+
+// guardExempt reports whether a package owns the raw scoring entry points.
+func guardExempt(importPath string) bool {
+	for _, s := range guardExemptSuffixes {
+		if strings.HasSuffix(importPath, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package guard
+
+// BreakerState is the circuit breaker's position. The zero value is
+// BreakerClosed (healthy: learned path serves).
+type BreakerState int
+
+const (
+	// BreakerClosed admits every call to the learned path.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects the learned path while the cooldown runs down.
+	BreakerOpen
+	// BreakerHalfOpen admits probe calls; enough consecutive successes
+	// close the breaker, any failure reopens it.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and experiment tables.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the closed → open → half-open state machine. It is clocked by
+// guarded serve calls — a logical, simulation-aligned step counter — never
+// by wall time, so same-seed runs trip, cool down and recover on exactly the
+// same call numbers regardless of machine speed (the determinism contract;
+// see DESIGN.md "Degraded-mode serving contract"). All fields are guarded by
+// the owning Guard's mutex.
+type breaker struct {
+	cfg Config
+
+	state BreakerState
+	// window is a ring of recent learned-path outcomes (true = failure)
+	// while closed; fails counts the failures currently inside it.
+	window []bool
+	wpos   int
+	wlen   int
+	fails  int
+	// cooldown is the number of serve steps left before an open breaker
+	// starts probing.
+	cooldown int
+	// probes counts consecutive half-open successes.
+	probes int
+}
+
+func newBreaker(cfg Config) breaker {
+	return breaker{cfg: cfg, window: make([]bool, cfg.WindowSize)}
+}
+
+// tick advances the breaker's logical clock by one serve call and reports
+// whether the learned path is admitted, plus whether this tick transitioned
+// open → half-open (for telemetry).
+func (b *breaker) tick() (admit, toHalfOpen bool) {
+	if b.state != BreakerOpen {
+		return true, false
+	}
+	b.cooldown--
+	if b.cooldown > 0 {
+		return false, false
+	}
+	b.state = BreakerHalfOpen
+	b.probes = 0
+	return true, true
+}
+
+// push records one closed-state outcome into the sliding window.
+func (b *breaker) push(fail bool) {
+	if b.wlen == len(b.window) {
+		if b.window[b.wpos] {
+			b.fails--
+		}
+	} else {
+		b.wlen++
+	}
+	b.window[b.wpos] = fail
+	b.wpos = (b.wpos + 1) % len(b.window)
+	if fail {
+		b.fails++
+	}
+}
+
+// resetWindow clears the sliding window (on close).
+func (b *breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.wpos, b.wlen, b.fails = 0, 0, 0
+}
+
+// recordSuccess registers a learned-path success; it reports whether the
+// breaker closed on this call (half-open probes satisfied).
+func (b *breaker) recordSuccess() (closed bool) {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probes++
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.resetWindow()
+			return true
+		}
+	case BreakerClosed:
+		b.push(false)
+	}
+	return false
+}
+
+// recordFailure registers a breaker-counting learned-path failure; it
+// reports whether the breaker opened on this call (window tripped, or a
+// half-open probe failed).
+func (b *breaker) recordFailure() (opened bool) {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.cooldown = b.cfg.CooldownSteps
+		return true
+	case BreakerClosed:
+		b.push(true)
+		if b.fails >= b.cfg.TripThreshold {
+			b.state = BreakerOpen
+			b.cooldown = b.cfg.CooldownSteps
+			b.resetWindow()
+			return true
+		}
+	}
+	return false
+}

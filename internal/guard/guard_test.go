@@ -1,0 +1,516 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"loam/internal/encoding"
+	"loam/internal/faultinject"
+	"loam/internal/plan"
+	"loam/internal/predictor"
+	"loam/internal/query"
+	"loam/internal/telemetry"
+)
+
+// stubScorer scripts the learned path: errs[i] decides call i (nil =
+// success); past the script, defaultErr applies. A non-nil block channel
+// stalls every call until the channel closes (deadline tests).
+type stubScorer struct {
+	mu         sync.Mutex
+	calls      int
+	errs       []error
+	defaultErr error
+	block      chan struct{}
+}
+
+func (s *stubScorer) SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (*plan.Plan, []float64, error) {
+	if s.block != nil {
+		<-s.block
+	}
+	s.mu.Lock()
+	i := s.calls
+	s.calls++
+	s.mu.Unlock()
+	err := s.defaultErr
+	if i < len(s.errs) {
+		err = s.errs[i]
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cands) == 0 {
+		return nil, nil, predictor.ErrNoCandidates
+	}
+	return cands[len(cands)-1], []float64{2, 1}, nil
+}
+
+// testHarness bundles a guard over a stub scorer with a two-candidate
+// request and a registry for counter assertions.
+type testHarness struct {
+	g      *Guard
+	req    Request
+	reg    *telemetry.Registry
+	native *plan.Plan
+}
+
+func newHarness(cfg Config, sc Scorer, mutate func(*Options)) *testHarness {
+	nativePlan := &plan.Plan{}
+	reg := telemetry.NewRegistry()
+	o := Options{
+		Config:  cfg,
+		Scorer:  sc,
+		Native:  func(q *query.Query) *plan.Plan { return nativePlan },
+		Metrics: reg,
+	}
+	if mutate != nil {
+		mutate(&o)
+	}
+	return &testHarness{
+		g:      New(o),
+		req:    Request{ID: "q1", Query: &query.Query{ID: "q1"}, Cands: []*plan.Plan{{}, {}}, Envs: encoding.NoEnv()},
+		reg:    reg,
+		native: nativePlan,
+	}
+}
+
+func (h *testHarness) counter(t *testing.T, name string) int64 {
+	t.Helper()
+	return h.reg.Counter(name).Value()
+}
+
+// smallCfg is a breaker configuration sized so tests can walk a full cycle
+// in a handful of calls. Deadline 0: no watchdog goroutines in unit tests.
+func smallCfg() Config {
+	return Config{
+		Deadline:       -1, // negative: normalize keeps it, watchdog off
+		WindowSize:     4,
+		TripThreshold:  2,
+		CooldownSteps:  3,
+		HalfOpenProbes: 2,
+	}
+}
+
+var errScore = errors.New("scorer exploded")
+
+// TestRecoveryCyclePinnedSequence drives the breaker through a full
+// closed → open → half-open → closed cycle with a scripted scorer and pins
+// the exact per-call (origin, state, cause) event sequence — the
+// deterministic recovery test the logical (step-clocked, not wall-clocked)
+// cooldown makes possible.
+func TestRecoveryCyclePinnedSequence(t *testing.T) {
+	sc := &stubScorer{errs: []error{nil, errScore, errScore}}
+	h := newHarness(smallCfg(), sc, nil)
+
+	type event struct {
+		origin Origin
+		state  BreakerState
+		cause  error // sentinel the FallbackCause must match; nil = learned
+	}
+	expected := []event{
+		{OriginLearned, BreakerClosed, nil},           // healthy
+		{OriginNativeFallback, BreakerClosed, ErrTransient},   // failure 1/2
+		{OriginNativeFallback, BreakerOpen, ErrTransient},     // failure 2/2 trips
+		{OriginNativeFallback, BreakerOpen, ErrBreakerOpen},   // cooldown 3→2
+		{OriginNativeFallback, BreakerOpen, ErrBreakerOpen},   // cooldown 2→1
+		{OriginLearned, BreakerHalfOpen, nil},         // cooldown expires, probe 1
+		{OriginLearned, BreakerClosed, nil},           // probe 2 closes
+		{OriginLearned, BreakerClosed, nil},           // healthy again
+	}
+	for i, want := range expected {
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if res.Origin != want.origin {
+			t.Fatalf("call %d: origin %v, want %v", i, res.Origin, want.origin)
+		}
+		if got := h.g.State(); got != want.state {
+			t.Fatalf("call %d: state %v, want %v", i, got, want.state)
+		}
+		if want.cause == nil {
+			if res.FallbackCause != nil {
+				t.Fatalf("call %d: unexpected cause %v", i, res.FallbackCause)
+			}
+		} else if !errors.Is(res.FallbackCause, want.cause) {
+			t.Fatalf("call %d: cause %v does not match %v", i, res.FallbackCause, want.cause)
+		}
+		if res.Chosen == nil {
+			t.Fatalf("call %d: nil plan served", i)
+		}
+	}
+	for name, want := range map[string]int64{
+		"guard.serve.total":                      8,
+		"guard.serve.learned":                    4,
+		"guard.fallback.native":                  4,
+		"guard.breaker.opened":                   1,
+		"guard.breaker.half_opened":              1,
+		"guard.breaker.closed":                   1,
+		"guard.fallback.reason.breaker_open":     2,
+		"guard.fallback.reason.predictor_error":  2,
+	} {
+		if got := h.counter(t, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestHalfOpenProbeFailureReopens: a failed probe sends the breaker straight
+// back to open with a fresh cooldown.
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CooldownSteps = 2
+	sc := &stubScorer{defaultErr: errScore}
+	h := newHarness(cfg, sc, nil)
+
+	// Two failures trip; one rejected call burns the cooldown; the next is
+	// a half-open probe that fails and reopens.
+	for i := 0; i < 4; i++ {
+		if _, err := h.g.Serve(context.Background(), h.req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.g.State(); got != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", got)
+	}
+	if got := h.counter(t, "guard.breaker.opened"); got != 2 {
+		t.Fatalf("opened %d times, want 2", got)
+	}
+	if got := h.counter(t, "guard.breaker.closed"); got != 0 {
+		t.Fatalf("closed %d times, want 0", got)
+	}
+}
+
+// TestFailureClassification pins the taxonomy: injected faults and deadline
+// hits are transient; no-candidates and no-finite-estimate are permanent;
+// and only model-health failures charge the breaker.
+func TestFailureClassification(t *testing.T) {
+	t.Run("injected predictor error is transient", func(t *testing.T) {
+		inj := faultinject.New(1, faultinject.Config{PredictorErrorRate: 1})
+		h := newHarness(smallCfg(), &stubScorer{}, func(o *Options) { o.Injector = inj })
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(res.FallbackCause, ErrTransient) || !errors.Is(res.FallbackCause, faultinject.ErrInjected) {
+			t.Fatalf("cause %v: want transient + injected", res.FallbackCause)
+		}
+		if errors.Is(res.FallbackCause, ErrPermanent) {
+			t.Fatal("injected fault classified permanent")
+		}
+	})
+
+	t.Run("no candidates is permanent and never trips the breaker", func(t *testing.T) {
+		sc := &stubScorer{defaultErr: predictor.ErrNoCandidates}
+		h := newHarness(smallCfg(), sc, nil)
+		for i := 0; i < 10; i++ {
+			res, err := h.g.Serve(context.Background(), h.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !errors.Is(res.FallbackCause, ErrPermanent) {
+				t.Fatalf("cause %v: want permanent", res.FallbackCause)
+			}
+		}
+		if got := h.g.State(); got != BreakerClosed {
+			t.Fatalf("no-candidates failures tripped the breaker (state %v)", got)
+		}
+		if got := h.counter(t, "guard.fallback.reason.no_candidates"); got != 10 {
+			t.Fatalf("no_candidates reason = %d, want 10", got)
+		}
+	})
+
+	t.Run("no finite estimate is permanent and charges the breaker", func(t *testing.T) {
+		sc := &stubScorer{defaultErr: predictor.ErrNoFiniteEstimate}
+		h := newHarness(smallCfg(), sc, nil)
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(res.FallbackCause, ErrPermanent) || !errors.Is(res.FallbackCause, predictor.ErrNoFiniteEstimate) {
+			t.Fatalf("cause %v: want permanent + no-finite-estimate", res.FallbackCause)
+		}
+		if _, err := h.g.Serve(context.Background(), h.req); err != nil {
+			t.Fatal(err)
+		}
+		if got := h.g.State(); got != BreakerOpen {
+			t.Fatalf("NaN-model failures did not trip the breaker (state %v)", got)
+		}
+	})
+}
+
+// TestFallbackLadder walks the rungs: native re-plan first, the default
+// candidate when native fails, and ErrNoServablePlan only when nothing is
+// left.
+func TestFallbackLadder(t *testing.T) {
+	failing := func() Scorer { return &stubScorer{defaultErr: errScore} }
+
+	t.Run("native rung serves first", func(t *testing.T) {
+		h := newHarness(smallCfg(), failing(), nil)
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Origin != OriginNativeFallback || res.Chosen != h.native {
+			t.Fatalf("origin %v chosen %p, want native fallback plan %p", res.Origin, res.Chosen, h.native)
+		}
+	})
+
+	t.Run("no native planner falls to the default candidate", func(t *testing.T) {
+		h := newHarness(smallCfg(), failing(), func(o *Options) { o.Native = nil })
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Origin != OriginDefaultFallback || res.Chosen != h.req.Cands[0] {
+			t.Fatalf("origin %v, want default fallback of cands[0]", res.Origin)
+		}
+	})
+
+	t.Run("injected native failure falls to the default candidate", func(t *testing.T) {
+		inj := faultinject.New(2, faultinject.Config{PredictorErrorRate: 1, NativeFailRate: 1})
+		h := newHarness(smallCfg(), &stubScorer{}, func(o *Options) { o.Injector = inj })
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Origin != OriginDefaultFallback {
+			t.Fatalf("origin %v, want default fallback", res.Origin)
+		}
+		if h.counter(t, "guard.inject.native_failures") != 1 {
+			t.Fatal("native-failure injection not counted")
+		}
+	})
+
+	t.Run("a native panic is contained", func(t *testing.T) {
+		h := newHarness(smallCfg(), failing(), func(o *Options) {
+			o.Native = func(q *query.Query) *plan.Plan { panic("corrupt view") }
+		})
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Origin != OriginDefaultFallback {
+			t.Fatalf("origin %v, want default fallback after native panic", res.Origin)
+		}
+	})
+
+	t.Run("every rung gone yields ErrNoServablePlan", func(t *testing.T) {
+		h := newHarness(smallCfg(), failing(), func(o *Options) { o.Native = nil })
+		req := h.req
+		req.Cands = nil
+		_, err := h.g.Serve(context.Background(), req)
+		if !errors.Is(err, ErrNoServablePlan) {
+			t.Fatalf("err %v, want ErrNoServablePlan", err)
+		}
+		if !errors.Is(err, ErrTransient) {
+			t.Fatalf("err %v should still expose the classified cause", err)
+		}
+		if h.counter(t, "guard.serve.exhausted") != 1 {
+			t.Fatal("exhausted not counted")
+		}
+	})
+}
+
+// TestRegressionSentinelQuarantine: adverse learned choices for K
+// consecutive windows quarantine the model; the guard then serves fallbacks
+// with ErrQuarantined until Reset.
+func TestRegressionSentinelQuarantine(t *testing.T) {
+	cfg := smallCfg()
+	cfg.DivergenceBand = 2
+	cfg.DivergenceWindow = 2
+	cfg.QuarantineWindows = 2
+	h := newHarness(cfg, &stubScorer{}, nil)
+	// The stub picks the last candidate; rough prices it 10× the default.
+	h.g.rough = func(day int, p *plan.Plan) float64 {
+		if p == h.req.Cands[0] {
+			return 1
+		}
+		return 10
+	}
+
+	// Two windows of two adverse samples each → quarantine.
+	for i := 0; i < 4; i++ {
+		res, err := h.g.Serve(context.Background(), h.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Origin != OriginLearned {
+			t.Fatalf("call %d: origin %v before quarantine", i, res.Origin)
+		}
+	}
+	if !h.g.Quarantined() {
+		t.Fatal("model not quarantined after 2 adverse windows")
+	}
+	res, err := h.g.Serve(context.Background(), h.req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Origin == OriginLearned || !errors.Is(res.FallbackCause, ErrQuarantined) {
+		t.Fatalf("quarantined guard served origin %v cause %v", res.Origin, res.FallbackCause)
+	}
+	for name, want := range map[string]int64{
+		"guard.sentinel.samples":         4,
+		"guard.sentinel.adverse_samples": 4,
+		"guard.quarantine.trips":         1,
+	} {
+		if got := h.counter(t, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	h.g.Reset()
+	if h.g.Quarantined() {
+		t.Fatal("Reset did not lift quarantine")
+	}
+	if res, err := h.g.Serve(context.Background(), h.req); err != nil || res.Origin != OriginLearned {
+		t.Fatalf("after Reset: origin %v err %v", res.Origin, err)
+	}
+}
+
+// TestHealthySentinelNeverQuarantines: when learned choices stay inside the
+// band, consecutive-window runs reset and the model keeps serving.
+func TestHealthySentinelNeverQuarantines(t *testing.T) {
+	cfg := smallCfg()
+	cfg.DivergenceWindow = 2
+	cfg.QuarantineWindows = 1
+	h := newHarness(cfg, &stubScorer{}, nil)
+	h.g.rough = func(day int, p *plan.Plan) float64 { return 5 } // identical costs
+	for i := 0; i < 20; i++ {
+		if res, err := h.g.Serve(context.Background(), h.req); err != nil || res.Origin != OriginLearned {
+			t.Fatalf("call %d: origin %v err %v", i, res.Origin, err)
+		}
+	}
+	if h.g.Quarantined() {
+		t.Fatal("healthy model quarantined")
+	}
+	if got := h.counter(t, "guard.sentinel.adverse_samples"); got != 0 {
+		t.Fatalf("adverse samples = %d, want 0", got)
+	}
+}
+
+// TestDeadlineWatchdog arms a real (tests-only-short) deadline against a
+// hung scorer: the guard must degrade to the native fallback with a
+// transient ErrDeadline cause instead of stalling the query.
+func TestDeadlineWatchdog(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Deadline = 10 * time.Millisecond
+	sc := &stubScorer{block: make(chan struct{})}
+	defer close(sc.block)
+	h := newHarness(cfg, sc, nil)
+
+	res, err := h.g.Serve(context.Background(), h.req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Origin != OriginNativeFallback {
+		t.Fatalf("origin %v, want native fallback", res.Origin)
+	}
+	if !errors.Is(res.FallbackCause, ErrDeadline) || !errors.Is(res.FallbackCause, ErrTransient) {
+		t.Fatalf("cause %v, want transient deadline", res.FallbackCause)
+	}
+	if got := h.counter(t, "guard.deadline.hits"); got != 1 {
+		t.Fatalf("deadline hits = %d, want 1", got)
+	}
+}
+
+// TestInjectedDelayIsDeterministicDeadline: the injector's delay fault is a
+// logical stall — a deadline hit with no real timer and no sleeping.
+func TestInjectedDelayIsDeterministicDeadline(t *testing.T) {
+	inj := faultinject.New(4, faultinject.Config{DelayRate: 1})
+	h := newHarness(smallCfg(), &stubScorer{}, func(o *Options) { o.Injector = inj })
+	res, err := h.g.Serve(context.Background(), h.req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.FallbackCause, ErrDeadline) || !errors.Is(res.FallbackCause, faultinject.ErrInjected) {
+		t.Fatalf("cause %v, want injected deadline", res.FallbackCause)
+	}
+	if h.counter(t, "guard.deadline.hits") != 1 || h.counter(t, "guard.inject.delays") != 1 {
+		t.Fatal("delay injection not counted as a deadline hit")
+	}
+}
+
+// TestCancellationPassesThrough: caller cancellation is returned unwrapped —
+// no fallback plan, no breaker charge — preserving the serving layer's batch
+// cancellation semantics.
+func TestCancellationPassesThrough(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Deadline = time.Minute // watchdog armed so ctx.Done is selected
+	sc := &stubScorer{block: make(chan struct{})}
+	defer close(sc.block)
+	h := newHarness(cfg, sc, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := h.g.Serve(ctx, h.req)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if h.g.State() != BreakerClosed {
+		t.Fatal("cancellation charged the breaker")
+	}
+	if h.counter(t, "guard.fallback.native")+h.counter(t, "guard.fallback.default") != 0 {
+		t.Fatal("cancellation produced a fallback plan")
+	}
+}
+
+// TestConcurrentServeUnderFullOutage hammers one guard from many goroutines
+// with a 100% injected failure rate (run with -race): every call must serve
+// a fallback plan, and the order-independent counters must balance exactly.
+func TestConcurrentServeUnderFullOutage(t *testing.T) {
+	inj := faultinject.New(9, faultinject.Config{PredictorErrorRate: 1})
+	h := newHarness(smallCfg(), &stubScorer{}, func(o *Options) { o.Injector = inj })
+
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				res, err := h.g.Serve(context.Background(), h.req)
+				if err != nil {
+					t.Errorf("goroutine %d call %d: %v", g, k, err)
+					return
+				}
+				if res.Chosen == nil || res.Origin == OriginLearned {
+					t.Errorf("goroutine %d call %d: origin %v chosen %p", g, k, res.Origin, res.Chosen)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(goroutines * perG)
+	if got := h.counter(t, "guard.serve.total"); got != total {
+		t.Fatalf("serve.total = %d, want %d", got, total)
+	}
+	if got := h.counter(t, "guard.fallback.native"); got != total {
+		t.Fatalf("fallback.native = %d, want %d (every call must degrade)", got, total)
+	}
+	if got := h.counter(t, "guard.serve.learned"); got != 0 {
+		t.Fatalf("learned = %d under full outage", got)
+	}
+	if got := h.counter(t, "guard.breaker.opened"); got < 1 {
+		t.Fatalf("breaker never opened under sustained failure (opened=%d)", got)
+	}
+}
+
+// TestConfigNormalization: zero fields inherit defaults; Deadline 0 stays 0
+// (watchdog off).
+func TestConfigNormalization(t *testing.T) {
+	g := New(Options{Scorer: &stubScorer{}})
+	d := DefaultConfig()
+	if g.Config().WindowSize != d.WindowSize || g.Config().TripThreshold != d.TripThreshold {
+		t.Fatalf("zero config not normalized: %+v", g.Config())
+	}
+	cfg := DefaultConfig()
+	cfg.Deadline = 0
+	if got := New(Options{Config: cfg, Scorer: &stubScorer{}}).Config().Deadline; got != 0 {
+		t.Fatalf("explicit zero deadline overridden to %v", got)
+	}
+}

@@ -98,6 +98,14 @@ type Optimizer struct {
 // New builds an optimizer over a statistics view.
 func New(v *stats.View) *Optimizer { return &Optimizer{View: v} }
 
+// DefaultPlan compiles the query with all exploration flags off and the
+// default cardinality scaling — the plan MaxCompute would run with no
+// learned steering. The guarded serving layer uses it as the
+// native-fallback rung when the learned path is unavailable.
+func DefaultPlan(v *stats.View, q *query.Query) *plan.Plan {
+	return New(v).Optimize(q, Flags{})
+}
+
 func (o *Optimizer) estimator() *cardinality.Estimator {
 	return &cardinality.Estimator{Src: cardinality.ViewSource(o.View), CardScale: o.CardScale}
 }

@@ -24,6 +24,7 @@ package loam
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -32,7 +33,9 @@ import (
 	"loam/internal/encoding"
 	"loam/internal/exec"
 	"loam/internal/explorer"
+	"loam/internal/guard"
 	"loam/internal/history"
+	"loam/internal/nativeopt"
 	"loam/internal/plan"
 	"loam/internal/predictor"
 	"loam/internal/query"
@@ -267,6 +270,7 @@ type Deployment struct {
 
 	tel *telemetry.Registry
 	obs servingTelemetry
+	grd *guard.Guard
 }
 
 // SetStrategy switches the deployment's inference strategy (§5). Like the
@@ -278,6 +282,12 @@ func (d *Deployment) SetStrategy(s predictor.Strategy) { d.Strategy = s }
 // created at deploy time, or whatever WithMetrics wired in. Use it for wall
 // timings (Registry.WallTimings) or to share with other deployments.
 func (d *Deployment) Telemetry() *telemetry.Registry { return d.tel }
+
+// Guard returns the deployment's serving guard: inspect the breaker state
+// (State), check or lift a regression-sentinel quarantine (Quarantined,
+// Reset). Every Optimize/OptimizeCtx/OptimizeBatch call is routed through
+// it; see DESIGN.md "Degraded-mode serving contract".
+func (d *Deployment) Guard() *Guard { return d.grd }
 
 // Metrics returns a deterministic, stable-ordered snapshot of the
 // deployment's registry: serving counters and histograms, training losses,
@@ -329,7 +339,7 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 	if err != nil {
 		return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
 	}
-	return &Deployment{
+	d := &Deployment{
 		ProjectSim: ps,
 		Predictor:  pred,
 		Encoder:    enc,
@@ -338,36 +348,80 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 		TestSet:    test,
 		tel:        o.metrics,
 		obs:        newServingTelemetry(o.metrics),
-	}, nil
+	}
+	d.grd = ps.newGuard(pred, o)
+	return d, nil
 }
 
-// Choice is the outcome of steering one query.
+// newGuard wires a serving guard for a deployment: the trained predictor is
+// the learned scorer, the native optimizer over the day's statistics view is
+// both the fallback planner and the regression sentinel's rough-cost
+// reference, and any armed fault injector is bound to the project's cluster
+// so load-spike faults hit the live environment.
+func (ps *ProjectSim) newGuard(pred *predictor.Predictor, o deployOptions) *guard.Guard {
+	if o.injector != nil {
+		o.injector.AttachCluster(ps.Executor.Cluster)
+	}
+	return guard.New(guard.Options{
+		Config: o.guardCfg,
+		Scorer: pred,
+		Native: func(q *query.Query) *plan.Plan {
+			return nativeopt.DefaultPlan(ps.View(q.Day), q)
+		},
+		Rough: func(day int, p *plan.Plan) float64 {
+			return nativeopt.New(ps.View(day)).RoughCost(p)
+		},
+		Injector: o.injector,
+		Metrics:  o.metrics,
+	})
+}
+
+// Choice is the outcome of steering one query. Origin reports which rung of
+// the guarded serving ladder produced it: OriginLearned choices carry the
+// predictor's per-candidate Estimates and a ChosenIdx into Candidates;
+// fallback choices (OriginNativeFallback, OriginDefaultFallback) carry nil
+// Estimates, the failure that forced the fallback in FallbackCause, and — for
+// a native re-plan that is not among the explorer's candidates — ChosenIdx
+// -1.
 type Choice struct {
 	Query      *query.Query
 	Candidates []*plan.Plan
 	Estimates  []float64
 	Chosen     *plan.Plan
 	ChosenIdx  int
+	// Origin is the serving rung that produced Chosen.
+	Origin Origin
+	// FallbackCause is the classified learned-path failure behind a
+	// degraded choice (nil for OriginLearned); match it with errors.Is
+	// against the root sentinels (ErrTransientFailure, ErrBreakerOpen,
+	// ErrLearnedDeadline, ...).
+	FallbackCause error
 }
 
 // Optimize steers one query: the plan explorer produces candidates, the
 // predictor estimates their costs under the deployment's inference strategy,
-// and the cheapest is chosen (§3). It returns an error when the explorer
-// yields no candidates or no candidate has a finite cost estimate.
+// and the cheapest is chosen (§3). The call is routed through the serving
+// guard: when the learned path fails — predictor error, deadline hit, open
+// circuit breaker, quarantined model — the guard degrades to a native
+// re-plan or the default candidate and the Choice reports the rung in Origin
+// and the failure in FallbackCause. An error is returned only when every
+// rung is exhausted (ErrNoServablePlan).
 //
 // Optimize is safe for concurrent use: candidate generation reads immutable
 // statistics views, the environment source reads the cluster under a shared
-// lock, and plan scoring is read-only on the trained model. It is a thin
-// wrapper over OptimizeCtx with a background context.
+// lock, plan scoring is read-only on the trained model, and the guard's
+// breaker accounting takes a short private lock. It is a thin wrapper over
+// OptimizeCtx with a background context.
 func (d *Deployment) Optimize(q *query.Query) (*Choice, error) {
 	return d.OptimizeCtx(context.Background(), q)
 }
 
 // OptimizeCtx is Optimize with cancellation: a canceled or expired ctx makes
 // it return ctx.Err() promptly, checked on entry and again between candidate
-// generation and plan scoring. The call also feeds the serving telemetry —
-// latency, candidate counts, estimate spread, NaN estimates, and error
-// counters — into the deployment's registry.
+// generation and plan scoring — caller cancellation is never masked by a
+// fallback plan. The call also feeds the serving telemetry — latency,
+// candidate counts, estimate spread, NaN estimates, and error counters —
+// into the deployment's registry, alongside the guard.* counters.
 func (d *Deployment) OptimizeCtx(ctx context.Context, q *query.Query) (*Choice, error) {
 	if err := ctx.Err(); err != nil {
 		d.obs.optimizeCancels.Inc()
@@ -384,20 +438,40 @@ func (d *Deployment) OptimizeCtx(ctx context.Context, q *query.Query) (*Choice, 
 		return nil, err
 	}
 	envs := d.envSource()
-	chosen, costs, err := d.Predictor.SelectPlan(cands, envs)
+	res, err := d.grd.Serve(ctx, guard.Request{
+		ID:    q.ID,
+		Day:   q.Day,
+		Query: q,
+		Cands: cands,
+		Envs:  envs,
+	})
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			d.obs.optimizeCancels.Inc()
+			return nil, err
+		}
 		d.obs.optimizeErrors.Inc()
 		return nil, fmt.Errorf("optimize %s: %w", d.ProjectSim.Config.Name, err)
 	}
-	d.obs.observeEstimates(costs)
-	idx := 0
+	if res.Origin == guard.OriginLearned {
+		d.obs.observeEstimates(res.Estimates)
+	}
+	idx := -1
 	for i := range cands {
-		if cands[i] == chosen {
+		if cands[i] == res.Chosen {
 			idx = i
 			break
 		}
 	}
-	return &Choice{Query: q, Candidates: cands, Estimates: costs, Chosen: chosen, ChosenIdx: idx}, nil
+	return &Choice{
+		Query:         q,
+		Candidates:    cands,
+		Estimates:     res.Estimates,
+		Chosen:        res.Chosen,
+		ChosenIdx:     idx,
+		Origin:        res.Origin,
+		FallbackCause: res.FallbackCause,
+	}, nil
 }
 
 // OptimizeBatch steers a batch of queries, running up to parallelism
@@ -511,7 +585,7 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 	o := resolveDeployOptions(opts)
 	pred.Instrument(o.metrics)
 	train, test := ps.Repo.Split(trainDays, testDays, 0)
-	return &Deployment{
+	d := &Deployment{
 		ProjectSim: ps,
 		Predictor:  pred,
 		Encoder:    encoding.NewEncoder(pred.EncoderConfig()),
@@ -520,5 +594,7 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 		TestSet:    test,
 		tel:        o.metrics,
 		obs:        newServingTelemetry(o.metrics),
-	}, nil
+	}
+	d.grd = ps.newGuard(pred, o)
+	return d, nil
 }

@@ -1,6 +1,8 @@
 package loam
 
 import (
+	"loam/internal/faultinject"
+	"loam/internal/guard"
 	"loam/internal/predictor"
 	"loam/internal/telemetry"
 )
@@ -15,14 +17,18 @@ type DeployOption func(*deployOptions)
 type deployOptions struct {
 	strategy predictor.Strategy
 	metrics  *telemetry.Registry
+	guardCfg guard.Config
+	injector *faultinject.Injector
 }
 
 // resolveDeployOptions applies opts over the defaults: the paper's MeanEnv
-// inference strategy (§5) and a fresh private metrics registry.
+// inference strategy (§5), a fresh private metrics registry, the default
+// guard configuration and no fault injector.
 func resolveDeployOptions(opts []DeployOption) deployOptions {
 	o := deployOptions{
 		strategy: predictor.StrategyMeanEnv,
 		metrics:  telemetry.NewRegistry(),
+		guardCfg: guard.DefaultConfig(),
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -48,4 +54,26 @@ func WithStrategy(s predictor.Strategy) DeployOption {
 // (train.final_cost_loss) depend on completion order.
 func WithMetrics(reg *telemetry.Registry) DeployOption {
 	return func(o *deployOptions) { o.metrics = reg }
+}
+
+// WithGuardConfig tunes the deployment's serving guard — the learned-path
+// deadline, the circuit breaker's window/threshold/cooldown, and the
+// regression sentinel's divergence band (see GuardConfig). Zero fields keep
+// their defaults, except Deadline, where an explicit zero disables the
+// learned-path watchdog entirely.
+func WithGuardConfig(cfg GuardConfig) DeployOption {
+	return func(o *deployOptions) { o.guardCfg = cfg }
+}
+
+// WithFaultInjector arms the deployment with a deterministic fault injector
+// (see NewFaultInjector): injected predictor errors, NaN estimates, deadline
+// stalls, native-planner failures and cluster load spikes exercise the
+// guard's fallback ladder without touching the model. The injector is bound
+// to the project's cluster at deploy time so load-spike faults perturb the
+// live environment the way a real noisy neighbor would. Pass nil (or no
+// option) to serve without injection; injection decisions are pure functions
+// of (injector seed, fault kind, query ID), so same-seed runs inject
+// identically regardless of serving order or parallelism.
+func WithFaultInjector(inj *FaultInjector) DeployOption {
+	return func(o *deployOptions) { o.injector = inj }
 }

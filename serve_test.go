@@ -3,10 +3,12 @@ package loam
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"loam/internal/predictor"
 	"loam/internal/query"
@@ -322,6 +324,46 @@ func TestConcurrentClusterReads(t *testing.T) {
 	ps.RunDays(0, 2)
 	close(done)
 	wg.wait()
+}
+
+// TestOptimizeBatchCancelLeaksNoGoroutines cancels parallel batches mid-
+// flight and checks the goroutine count settles back to its baseline: the
+// regression test for worker or watchdog goroutines outliving a canceled
+// batch (the guard arms a deadline watchdog per learned scoring call, and
+// the batch path spawns a worker pool — all of them must unwind).
+func TestOptimizeBatchCancelLeaksNoGoroutines(t *testing.T) {
+	dep, qs := serveDeployment(t, 38, 16)
+	// Warm-up: one full batch so lazily-started runtime goroutines don't
+	// count against the baseline.
+	if _, err := dep.OptimizeBatch(context.Background(), qs, 4); err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = dep.OptimizeBatch(ctx, qs, 4)
+		}()
+		cancel()
+		<-done
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // wg2 is a tiny WaitGroup wrapper keeping the test bodies readable.

@@ -94,8 +94,11 @@ func (d *Deployment) Validate(cfg ValidationConfig) (*ValidationResult, error) {
 			}
 		}
 
-		// Predictor's choice under the deployment's strategy.
-		chosenPlan, _, err := d.Predictor.SelectPlan(cands, d.envSource())
+		// Predictor's choice under the deployment's strategy — scored raw
+		// (guard.ScoreLearned), not guarded: validation measures the model
+		// itself, so a failure here must surface instead of degrading to a
+		// fallback plan.
+		chosenPlan, _, err := d.grd.ScoreLearned(cands, d.envSource())
 		if err != nil {
 			return nil, fmt.Errorf("validate %s: %w", ps.Config.Name, err)
 		}
