@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint lint-fix-hints chaos verify
+.PHONY: build test race bench bench-smoke bench-go lint lint-fix-hints chaos verify
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-bench:
+# bench measures the serving fast path (PredictCost ns/op + allocs/op,
+# cached vs uncached SelectPlan q/s, OptimizeBatch q/s at parallelism 1/2/4)
+# and writes the machine-readable BENCH_serve.json.
+bench: build
+	$(GO) run ./cmd/loam-bench -run perf -quiet -benchout BENCH_serve.json
+
+# bench-smoke is the tiny-scale CI variant of bench.
+bench-smoke: build
+	$(GO) run ./cmd/loam-bench -run perf -tiny -quiet -benchout BENCH_serve.json
+
+# bench-go runs the go-test benchmark suite once through.
+bench-go:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # lint runs stock go vet plus loam-vet, the repo's own analyzer suite

@@ -14,6 +14,9 @@
 //   - guarddiscipline: predictor plan scoring outside internal/guard and
 //     internal/predictor flows through the serving guard (guard.Guard), so
 //     deadline, circuit breaker and quarantine cannot be bypassed
+//   - inferencepurity: serving-path code (internal/guard, and predictor
+//     functions reachable from the serving entry points) never constructs
+//     gradient-tracked tensors or invokes autograd backpropagation
 //
 // Findings are reported as "file:line: [rule] message". Intentional
 // exceptions live in the commented allowlist (see allowlist.go), never in
@@ -58,6 +61,7 @@ func Analyzers() []*Analyzer {
 		NaNSafety(),
 		ErrWrap(),
 		GuardDiscipline(),
+		InferencePurity(),
 	}
 }
 

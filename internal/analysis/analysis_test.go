@@ -438,6 +438,100 @@ func use(p planner) { p.SelectPlans() }
 	})
 }
 
+func TestGuardDisciplineKeyed(t *testing.T) {
+	// SelectPlanKeyed is the cache-aware scoring entry point added with the
+	// inference fast path; bypassing the guard with it is just as banned.
+	prog := fixture(t, map[string]string{
+		"internal/predictor/predictor.go": `package predictor
+type Predictor struct{}
+func (p *Predictor) SelectPlanKeyed(cands []int, envs, key int) (int, []float64, error) { return 0, nil, nil }
+`,
+		"serve.go": `package root
+import "fixture/internal/predictor"
+func Serve(p *predictor.Predictor) { p.SelectPlanKeyed(nil, 0, 0) }
+`,
+	})
+	wantFindings(t, runOne(prog, GuardDiscipline()), [][2]string{
+		{"guarddiscipline", "p.SelectPlanKeyed bypasses the serving guard"},
+	})
+}
+
+func TestInferencePurity(t *testing.T) {
+	t.Run("guard package is covered everywhere", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/guard/guard.go": `package guard
+import "fixture/internal/nn"
+func Refit(t *nn.Tensor) {
+	w := nn.Param(2, 2)
+	_ = w
+	t.Backward()
+}
+`,
+		})
+		wantFindings(t, runOne(prog, InferencePurity()), [][2]string{
+			{"inferencepurity", "nn.Param constructs a gradient-tracked tensor"},
+			{"inferencepurity", "t.Backward runs backpropagation"},
+		})
+	})
+	t.Run("aliased autograd import is still recognized", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/guard/guard.go": `package guard
+import grad "fixture/internal/nn"
+func Refit() { _ = grad.Param(2, 2) }
+`,
+		})
+		wantFindings(t, runOne(prog, InferencePurity()), [][2]string{
+			{"inferencepurity", "grad.Param constructs a gradient-tracked tensor"},
+		})
+	})
+	t.Run("predictor serving-reachable chain is flagged, training is not", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/predictor/predictor.go": `package predictor
+import "fixture/internal/nn"
+type Predictor struct{}
+func (p *Predictor) PredictCost() float64 { return p.score() }
+func (p *Predictor) score() float64 { _ = nn.Param(1, 1); return 0 }
+func (p *Predictor) Train() { p.fit() }
+func (p *Predictor) fit() { var t *nn.Tensor; t.Backward() }
+`,
+		})
+		wantFindings(t, runOne(prog, InferencePurity()), [][2]string{
+			{"inferencepurity", "nn.Param constructs a gradient-tracked tensor on the serving path (in score)"},
+		})
+	})
+	t.Run("SelectPlanKeyed is a serving root", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/predictor/predictor.go": `package predictor
+import "fixture/internal/nn"
+type Predictor struct{}
+func (p *Predictor) SelectPlanKeyed() { p.batched() }
+func (p *Predictor) batched() {
+	t := nn.Param(1, 1)
+	t.Backward()
+}
+`,
+		})
+		wantFindings(t, runOne(prog, InferencePurity()), [][2]string{
+			{"inferencepurity", "nn.Param constructs a gradient-tracked tensor on the serving path (in batched)"},
+			{"inferencepurity", "t.Backward runs backpropagation on the serving path (in batched)"},
+		})
+	})
+	t.Run("test files and unrelated packages are exempt", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/guard/guard_test.go": `package guard
+import "fixture/internal/nn"
+func probe() { _ = nn.Param(2, 2) }
+`,
+			"internal/nn/train.go": `package nn
+func (t *Tensor) step() { t.Backward() }
+type Tensor struct{}
+func (t *Tensor) Backward() {}
+`,
+		})
+		wantFindings(t, runOne(prog, InferencePurity()), nil)
+	})
+}
+
 func TestAllowlistSuppressesFixtureFinding(t *testing.T) {
 	// The simrand entry is path-scoped: the same violation fires outside the
 	// sanctioned package and is suppressed inside it.

@@ -8,7 +8,8 @@ import (
 
 // GuardDiscipline enforces the guarded-serving contract: outside
 // internal/guard and internal/predictor themselves, nothing calls the
-// predictor's SelectPlan / SelectPlanParallel directly. Every serving-path
+// predictor's SelectPlan / SelectPlanParallel / SelectPlanKeyed directly.
+// Every serving-path
 // score must flow through guard.Guard — Serve for guarded serving, or
 // ScoreLearned where raw model failures must surface (validation) — so the
 // deadline watchdog, circuit breaker and regression sentinel cannot be
@@ -44,7 +45,7 @@ func runGuardDiscipline(prog *Program) []Finding {
 				return true
 			}
 			name := sel.Sel.Name
-			if name != "SelectPlan" && name != "SelectPlanParallel" {
+			if name != "SelectPlan" && name != "SelectPlanParallel" && name != "SelectPlanKeyed" {
 				return true
 			}
 			out = append(out, Finding{

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// InferencePurity enforces the serving-path purity contract behind the
+// inference fast path (see DESIGN.md "Inference fast path & caching
+// contract"): code that runs while serving queries must never construct
+// gradient-tracked tensors (nn.Param) or invoke autograd backpropagation
+// (.Backward()). Training is the only writer of model weights; a Param or
+// Backward reachable from a serving entry point would silently re-attach the
+// autograd graph, breaking both the zero-allocation guarantee and the
+// bit-exactness argument that the inference kernels replicate frozen
+// weights.
+//
+// Scope:
+//   - internal/guard: the whole package. The guard wraps a trained model and
+//     has no business touching autograd anywhere.
+//   - internal/predictor: every function name-reachable from the serving
+//     roots PredictCost, SelectPlan, SelectPlanParallel and SelectPlanKeyed.
+//     The call graph is syntactic (callee names, no type resolution), which
+//     over-approximates reachability — the safe direction for a purity rule.
+//     Training entry points (Train and friends) stay free to use autograd.
+//
+// Test files are exempt as everywhere else in the suite.
+func InferencePurity() *Analyzer {
+	return &Analyzer{
+		Name: "inferencepurity",
+		Doc:  "serving paths never construct nn.Param tensors or call Backward",
+		Run:  runInferencePurity,
+	}
+}
+
+// inferenceRoots are the predictor's serving entry points; everything they
+// reach (by callee name) is serving-path code.
+var inferenceRoots = []string{"PredictCost", "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed"}
+
+func runInferencePurity(prog *Program) []Finding {
+	var out []Finding
+	prog.eachSourceFile(func(pkg *Package, f *File) {
+		switch {
+		case strings.HasSuffix(pkg.ImportPath, "/internal/guard"):
+			for _, fn := range fileFuncs(f) {
+				out = append(out, purityViolations(prog, f, fn)...)
+			}
+		case strings.HasSuffix(pkg.ImportPath, "/internal/predictor"):
+			reach := servingReachable(pkg)
+			for _, fn := range fileFuncs(f) {
+				if reach[fn.Decl.Name.Name] {
+					out = append(out, purityViolations(prog, f, fn)...)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// servingReachable computes the set of function/method names in pkg
+// reachable from the serving roots through the package's own call sites.
+// Name-based: a call `x.f()` or `f()` marks every declaration named f.
+func servingReachable(pkg *Package) map[string]bool {
+	callees := map[string][]string{}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, fn := range fileFuncs(f) {
+			name := fn.Decl.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					callees[name] = append(callees[name], fun.Name)
+				case *ast.SelectorExpr:
+					callees[name] = append(callees[name], fun.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+	reach := map[string]bool{}
+	queue := append([]string(nil), inferenceRoots...)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if reach[name] {
+			continue
+		}
+		reach[name] = true
+		queue = append(queue, callees[name]...)
+	}
+	return reach
+}
+
+// purityViolations flags nn.Param construction and .Backward() calls in one
+// function body.
+func purityViolations(prog *Program, f *File, fn funcInfo) []Finding {
+	// Resolve the file-local name of the autograd package by import-path
+	// suffix, so fixture modules stay subject to the rule.
+	nnLocal := ""
+	for _, imp := range f.AST.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if strings.HasSuffix(p, "/internal/nn") || p == "internal/nn" {
+			nnLocal = importLocalName(f, p)
+		}
+	}
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "Param" && nnLocal != "":
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == nnLocal {
+				out = append(out, Finding{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: "inferencepurity",
+					Message: fmt.Sprintf("%s constructs a gradient-tracked tensor on the serving path (in %s)",
+						exprString(sel), fn.Decl.Name.Name),
+					Suggestion: "serving code reads frozen weights; build tensors with nn.Param only in training code",
+				})
+			}
+		case sel.Sel.Name == "Backward":
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(call.Pos()),
+				Rule: "inferencepurity",
+				Message: fmt.Sprintf("%s.Backward runs backpropagation on the serving path (in %s)",
+					exprString(sel.X), fn.Decl.Name.Name),
+				Suggestion: "serving code uses the ForwardInfer fast path; Backward belongs to training only",
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -99,16 +99,45 @@ func (e *Encoder) Dim() int { return e.dim }
 // Config returns the configuration the encoder was built with.
 func (e *Encoder) Config() Config { return e.cfg }
 
+// FNV-1a, inlined so the per-node hot path never allocates a hasher or a
+// []byte copy of the identifier. Bit-identical to hash/fnv's New64a over the
+// same byte sequence (see TestInlineFNVMatchesStdlib).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
 // hashID sets the multi-segment encoding bits of an identifier into dst
 // starting at off — App. B.1's 5×N′ scheme with independent per-segment hash
 // functions (implemented as salted FNV), unioning naturally across multiple
 // identifiers.
 func (e *Encoder) hashID(dst []float64, off int, id string) {
 	for s := 0; s < e.cfg.Segments; s++ {
-		h := fnv.New64a()
-		_, _ = h.Write([]byte{byte(s + 1)})
-		_, _ = h.Write([]byte(id))
-		pos := int(avalanche(h.Sum64()) % uint64(e.cfg.SegmentDim))
+		h := fnvString(fnvByte(fnvOffset64, byte(s+1)), id)
+		pos := int(avalanche(h) % uint64(e.cfg.SegmentDim))
+		dst[off+s*e.cfg.SegmentDim+pos] = 1
+	}
+}
+
+// hashCol hashes a column reference identically to
+// hashID(dst, off, c.String()) without materializing the "table.column"
+// string.
+func (e *Encoder) hashCol(dst []float64, off int, c expr.ColumnRef) {
+	for s := 0; s < e.cfg.Segments; s++ {
+		h := fnvByte(fnvOffset64, byte(s+1))
+		h = fnvString(h, c.Table)
+		h = fnvByte(h, '.')
+		h = fnvString(h, c.Column)
+		pos := int(avalanche(h) % uint64(e.cfg.SegmentDim))
 		dst[off+s*e.cfg.SegmentDim+pos] = 1
 	}
 }
@@ -131,57 +160,7 @@ func EnvVec(m cluster.Metrics) [4]float64 { return m.Normalized() }
 // synthetic values).
 func (e *Encoder) EncodeNode(n *plan.Node, env [4]float64, hasEnv bool) []float64 {
 	v := make([]float64, e.dim)
-	if n == nil {
-		return v
-	}
-	if op := int(n.Op) - 1; op >= 0 && op < e.layout.opLen {
-		v[e.layout.opOff+op] = 1
-	}
-	switch {
-	case n.Op == plan.OpTableScan:
-		e.hashID(v, e.layout.tableOff, n.Table)
-		v[e.layout.scanNumOff] = plan.LogNorm(float64(n.PartitionsRead), e.cfg.MaxPartitions)
-		v[e.layout.scanNumOff+1] = plan.LogNorm(float64(n.ColumnsAccessed), e.cfg.MaxColumns)
-	case n.Op.IsJoin():
-		if f := int(n.JoinForm) - 1; f >= 0 && f < plan.NumJoinForms {
-			v[e.layout.joinFormOff+f] = 1
-		}
-		for _, c := range n.LeftCols {
-			e.hashID(v, e.layout.joinColsOff, c.String())
-		}
-		for _, c := range n.RightCols {
-			e.hashID(v, e.layout.joinColsOff, c.String())
-		}
-	case n.Op.IsAggregate():
-		for _, a := range n.AggFuncs {
-			if f := int(a) - 1; f >= 0 && f < plan.NumAggFuncs {
-				v[e.layout.aggFnOff+f] = 1
-			}
-		}
-		for _, c := range n.AggCols {
-			e.hashID(v, e.layout.aggColsOff, c.String())
-		}
-		for _, c := range n.GroupCols {
-			e.hashID(v, e.layout.groupOff, c.String())
-		}
-	case n.Op.IsFilterLike():
-		for _, f := range n.Pred.Funcs() {
-			if i := int(f) - 1; i >= 0 && i < expr.NumFuncs {
-				v[e.layout.filterFnOff+i] = 1
-			}
-		}
-		for _, c := range n.Pred.Columns() {
-			e.hashID(v, e.layout.filterColsOff, c.String())
-		}
-		v[e.layout.predNumOff] = plan.LogNorm(float64(n.Pred.Size()), 64)
-	}
-	if n.Parallelism > 0 {
-		v[e.layout.dopOff] = plan.LogNorm(float64(n.Parallelism), 256)
-	}
-	if hasEnv {
-		copy(v[e.layout.envOff:e.layout.envOff+4], env[:])
-		v[e.layout.hasEnvOff] = 1
-	}
+	e.EncodeNodeInto(v, n, env, hasEnv)
 	return v
 }
 

@@ -1,0 +1,249 @@
+package encoding
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"loam/internal/expr"
+	"loam/internal/plan"
+)
+
+// unionPlan has a 3-way union so the flat tree encoder exercises the
+// canonicalization fallback.
+func unionPlan() *plan.Plan {
+	scan := func(t string) *plan.Node {
+		return &plan.Node{Op: plan.OpTableScan, Table: t, PartitionsRead: 4, ColumnsAccessed: 2}
+	}
+	union := &plan.Node{
+		Op:       plan.OpUnion,
+		Children: []*plan.Node{scan("p.a"), scan("p.b"), scan("p.c")},
+	}
+	return &plan.Plan{Root: union}
+}
+
+// compoundFilterPlan has a connective predicate with repeated functions and a
+// repeated column, pinning encodePred's direct walk to the dedup-and-sort
+// Funcs()/Columns() reference: idempotent bit sets make the two equivalent.
+func compoundFilterPlan() *plan.Plan {
+	scan := &plan.Node{Op: plan.OpTableScan, Table: "p.t1", PartitionsRead: 4, ColumnsAccessed: 2}
+	c1 := expr.ColumnRef{Table: "p.t1", Column: "c1"}
+	c2 := expr.ColumnRef{Table: "p.t1", Column: "c2"}
+	pred := expr.Or(
+		expr.And(expr.Compare(expr.FuncGT, c1, 3), expr.Compare(expr.FuncLT, c1, 9)),
+		expr.Compare(expr.FuncGT, c2, 7),
+	)
+	filter := &plan.Node{Op: plan.OpFilter, Pred: pred, Children: []*plan.Node{scan}}
+	return &plan.Plan{Root: filter}
+}
+
+func flatRowsEqual(t *testing.T, name string, want [][]float64, got []float64, dim int) {
+	t.Helper()
+	if len(got) != len(want)*dim {
+		t.Fatalf("%s: %d values, want %d rows × %d", name, len(got), len(want), dim)
+	}
+	for i, row := range want {
+		for j, v := range row {
+			g := got[i*dim+j]
+			if math.Float64bits(v) != math.Float64bits(g) {
+				t.Fatalf("%s: row %d col %d: %v != %v", name, i, j, v, g)
+			}
+		}
+	}
+}
+
+func TestEncodeTreeFlatMatchesEncodeTree(t *testing.T) {
+	e := enc()
+	for _, tc := range []struct {
+		name string
+		p    *plan.Plan
+	}{
+		{"binary", testPlan()},
+		{"nary-union", unionPlan()},
+		{"compound-filter", compoundFilterPlan()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			envs := FixedEnv([4]float64{0.3, 0.1, 0.9, 0.5})
+
+			// Reference: the allocating tree encoder, flattened in preorder.
+			var feats [][]float64
+			var self, left, right []int
+			var walk func(n *Tree) int
+			walk = func(n *Tree) int {
+				idx := len(feats)
+				feats = append(feats, n.Feat)
+				self = append(self, idx)
+				left = append(left, -1)
+				right = append(right, -1)
+				if n.Left != nil {
+					left[idx] = walk(n.Left)
+				}
+				if n.Right != nil {
+					right[idx] = walk(n.Right)
+				}
+				return idx
+			}
+			walk(e.EncodeTree(tc.p, envs))
+
+			var ft FlatTree
+			e.EncodeTreeFlatInto(&ft, tc.p, envs)
+			if ft.Len() != len(feats) {
+				t.Fatalf("flat tree has %d nodes, want %d", ft.Len(), len(feats))
+			}
+			flatRowsEqual(t, "feats", feats, ft.Feats, e.Dim())
+			for i := range self {
+				if ft.Self[i] != self[i] || ft.Left[i] != left[i] || ft.Right[i] != right[i] {
+					t.Fatalf("index row %d: (%d,%d,%d) != (%d,%d,%d)", i,
+						ft.Self[i], ft.Left[i], ft.Right[i], self[i], left[i], right[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeGraphFlatMatchesEncodeGraph(t *testing.T) {
+	e := enc()
+	p := testPlan()
+	envs := FixedEnv([4]float64{0.2, 0.4, 0.6, 0.8})
+	g := e.EncodeGraph(p, envs)
+
+	var fg FlatGraph
+	e.EncodeGraphFlatInto(&fg, p, envs)
+	if fg.Len() != len(g.Feats) {
+		t.Fatalf("flat graph has %d nodes, want %d", fg.Len(), len(g.Feats))
+	}
+	flatRowsEqual(t, "feats", g.Feats, fg.Feats, e.Dim())
+	if len(fg.Edges) != len(g.Edges) {
+		t.Fatalf("%d edges, want %d", len(fg.Edges), len(g.Edges))
+	}
+	for i := range g.Edges {
+		if fg.Edges[i] != g.Edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, fg.Edges[i], g.Edges[i])
+		}
+	}
+}
+
+func TestEncodeSequenceFlatMatchesEncodeSequence(t *testing.T) {
+	e := enc()
+	p := testPlan()
+	envs := NoEnv()
+	seq := e.EncodeSequence(p, envs)
+
+	var fs FlatSeq
+	e.EncodeSequenceFlatInto(&fs, p, envs)
+	if fs.Len() != len(seq) {
+		t.Fatalf("flat seq has %d tokens, want %d", fs.Len(), len(seq))
+	}
+	flatRowsEqual(t, "tokens", seq, fs.Feats, e.SeqDim())
+}
+
+// TestFlatEncodersReuseBuffers verifies the *Into encoders stop allocating
+// once their buffers have grown to workload size — including filter nodes,
+// whose predicates are folded in by encodePred's allocation-free walk.
+func TestFlatEncodersReuseBuffers(t *testing.T) {
+	e := enc()
+	envs := FixedEnv([4]float64{0.5, 0.5, 0.5, 0.5})
+
+	// Scans, exchanges, a predicated filter, join, aggregate.
+	scanA := &plan.Node{Op: plan.OpTableScan, Table: "p.t1", PartitionsRead: 8, ColumnsAccessed: 3}
+	scanB := &plan.Node{Op: plan.OpTableScan, Table: "p.t2", PartitionsRead: 2, ColumnsAccessed: 1}
+	filter := &plan.Node{
+		Op: plan.OpFilter,
+		Pred: expr.And(
+			expr.Compare(expr.FuncGT, expr.ColumnRef{Table: "p.t1", Column: "c1"}, 3),
+			expr.Compare(expr.FuncEQ, expr.ColumnRef{Table: "p.t1", Column: "c2"}, 5),
+		),
+		Children: []*plan.Node{scanA},
+	}
+	join := &plan.Node{
+		Op: plan.OpHashJoin, JoinForm: plan.JoinInner,
+		Children: []*plan.Node{
+			{Op: plan.OpExchange, Children: []*plan.Node{filter}, Parallelism: 64},
+			{Op: plan.OpExchange, Children: []*plan.Node{scanB}},
+		},
+	}
+	agg := &plan.Node{
+		Op:       plan.OpHashAggregate,
+		AggFuncs: []plan.AggFunc{plan.AggSum},
+		Children: []*plan.Node{join},
+	}
+	p := &plan.Plan{Root: agg}
+
+	var ft FlatTree
+	e.EncodeTreeFlatInto(&ft, p, envs)
+	if allocs := testing.AllocsPerRun(50, func() { e.EncodeTreeFlatInto(&ft, p, envs) }); allocs != 0 {
+		t.Fatalf("warmed EncodeTreeFlatInto allocated %.1f/run, want 0", allocs)
+	}
+
+	var fg FlatGraph
+	e.EncodeGraphFlatInto(&fg, p, envs)
+	if allocs := testing.AllocsPerRun(50, func() { e.EncodeGraphFlatInto(&fg, p, envs) }); allocs != 0 {
+		t.Fatalf("warmed EncodeGraphFlatInto allocated %.1f/run, want 0", allocs)
+	}
+
+	var fs FlatSeq
+	e.EncodeSequenceFlatInto(&fs, p, envs)
+	if allocs := testing.AllocsPerRun(50, func() { e.EncodeSequenceFlatInto(&fs, p, envs) }); allocs != 0 {
+		t.Fatalf("warmed EncodeSequenceFlatInto allocated %.1f/run, want 0", allocs)
+	}
+}
+
+// TestInlineFNVMatchesStdlib pins the inlined FNV-1a helpers to hash/fnv:
+// identifier hash positions must never move, or every trained model's
+// encoding would silently change.
+func TestInlineFNVMatchesStdlib(t *testing.T) {
+	for _, id := range []string{"", "p.t1", "some.table", "a.very.long.identifier_with_underscores"} {
+		for seed := byte(1); seed <= 5; seed++ {
+			h := fnv.New64a()
+			_, _ = h.Write([]byte{seed})
+			_, _ = h.Write([]byte(id))
+			want := h.Sum64()
+			got := fnvString(fnvByte(fnvOffset64, seed), id)
+			if got != want {
+				t.Fatalf("inline fnv(%q, seed %d) = %#x, stdlib %#x", id, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestHashColMatchesHashID verifies the string-free column hash lands on the
+// same bits as hashing c.String().
+func TestHashColMatchesHashID(t *testing.T) {
+	e := enc()
+	c := expr.ColumnRef{Table: "proj.orders", Column: "amount"}
+	a := make([]float64, e.Dim())
+	b := make([]float64, e.Dim())
+	e.hashID(a, e.layout.joinColsOff, c.String())
+	e.hashCol(b, e.layout.joinColsOff, c)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bit %d differs between hashID and hashCol", i)
+		}
+	}
+}
+
+func TestEnvKeys(t *testing.T) {
+	a := FixedEnvKey([4]float64{0.1, 0.2, 0.3, 0.4})
+	b := FixedEnvKey([4]float64{0.1, 0.2, 0.3, 0.4})
+	c := FixedEnvKey([4]float64{0.1, 0.2, 0.3, 0.5})
+	n := NoEnvKey()
+	z := FixedEnvKey([4]float64{})
+
+	if !a.Keyed || !n.Keyed {
+		t.Fatal("constructed keys must be Keyed")
+	}
+	if (EnvKey{}).Keyed {
+		t.Fatal("zero EnvKey must be unkeyed")
+	}
+	if a != b {
+		t.Fatal("identical env vectors must produce identical keys")
+	}
+	if a == c {
+		t.Fatal("different env vectors must produce different keys")
+	}
+	// "No environment" encodes hasEnv=0 and must never collide with the
+	// all-zeros fixed environment, which encodes hasEnv=1.
+	if n == z {
+		t.Fatal("NoEnvKey must differ from FixedEnvKey(zeros)")
+	}
+}

@@ -147,6 +147,15 @@ type Scorer interface {
 	SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (*plan.Plan, []float64, error)
 }
 
+// KeyedScorer is the cache-eligible learned path: a scorer that also accepts
+// the environment key identifying the request's EnvSource, unlocking the
+// predictor's plan-embedding cache. predictor.Predictor implements it; plain
+// Scorer stubs keep working and simply serve uncached.
+type KeyedScorer interface {
+	Scorer
+	SelectPlanKeyed(cands []*plan.Plan, envs encoding.EnvSource, key encoding.EnvKey) (*plan.Plan, []float64, error)
+}
+
 // Request is one query's serving context.
 type Request struct {
 	// ID is the stable query identifier; it keys fault-injection decisions.
@@ -160,6 +169,11 @@ type Request struct {
 	Cands []*plan.Plan
 	// Envs is the resolved environment source for learned scoring.
 	Envs encoding.EnvSource
+	// EnvKey is the hashable identity of Envs, when it has one. A keyed
+	// request lets a KeyedScorer reuse cached plan embeddings; the zero
+	// (unkeyed) value always scores uncached. Callers must keep EnvKey in
+	// lockstep with Envs — a stale key would pin wrong embeddings.
+	EnvKey encoding.EnvKey
 }
 
 // Result is a guarded serving outcome: a plan, where it came from, and — for
@@ -294,6 +308,26 @@ func (g *Guard) ScoreLearned(cands []*plan.Plan, envs encoding.EnvSource) (*plan
 	return g.scorer.SelectPlan(cands, envs)
 }
 
+// ScoreLearnedKeyed is ScoreLearned for a keyed environment source: when the
+// scorer supports keyed scoring the predictor's plan-embedding cache applies,
+// which is what serving benchmarks measure. Results are bit-identical to
+// ScoreLearned either way.
+func (g *Guard) ScoreLearnedKeyed(cands []*plan.Plan, envs encoding.EnvSource, key encoding.EnvKey) (*plan.Plan, []float64, error) {
+	if ks, ok := g.scorer.(KeyedScorer); ok && key.Keyed {
+		return ks.SelectPlanKeyed(cands, envs, key)
+	}
+	return g.scorer.SelectPlan(cands, envs)
+}
+
+// selectLearned routes one request to the scorer, using the keyed entry point
+// when both the scorer and the request support it.
+func (g *Guard) selectLearned(req Request) (*plan.Plan, []float64, error) {
+	if ks, ok := g.scorer.(KeyedScorer); ok && req.EnvKey.Keyed {
+		return ks.SelectPlanKeyed(req.Cands, req.Envs, req.EnvKey)
+	}
+	return g.scorer.SelectPlan(req.Cands, req.Envs)
+}
+
 // admit ticks the breaker's logical clock and decides whether the learned
 // path runs for this call.
 func (g *Guard) admit() (bool, *failure) {
@@ -348,7 +382,7 @@ func (g *Guard) score(ctx context.Context, req Request) (*plan.Plan, []float64, 
 // safe.
 func (g *Guard) scoreWithWatchdog(ctx context.Context, req Request) (*plan.Plan, []float64, error) {
 	if g.cfg.Deadline <= 0 {
-		return g.scorer.SelectPlan(req.Cands, req.Envs)
+		return g.selectLearned(req)
 	}
 	type outcome struct {
 		chosen *plan.Plan
@@ -358,7 +392,7 @@ func (g *Guard) scoreWithWatchdog(ctx context.Context, req Request) (*plan.Plan,
 	ch := make(chan outcome, 1)
 	go func() {
 		var o outcome
-		o.chosen, o.costs, o.err = g.scorer.SelectPlan(req.Cands, req.Envs)
+		o.chosen, o.costs, o.err = g.selectLearned(req)
 		ch <- o
 	}()
 	wd := walltime.NewWatchdog(g.cfg.Deadline)

@@ -1,0 +1,334 @@
+package nn
+
+import "math"
+
+// This file is the inference-only forward mode: the serving path's
+// counterpart to the autograd ops in tensor.go. It never builds the autograd
+// graph, never allocates Grad buffers, and places every activation in a
+// caller-owned Scratch arena, so a warmed-up forward pass performs zero heap
+// allocations.
+//
+// Bit-exactness contract: every kernel here produces float64 results
+// bit-identical to the corresponding autograd op. That is what lets the
+// predictor route PredictCost/SelectPlan through this path without moving a
+// single seeded experiment result. Two rules keep the contract honest:
+//
+//  1. Per-element accumulation order is preserved. A dot product always runs
+//     p = 0..k-1 ascending and skips a-side zeros exactly like
+//     matmulAccum's !ta&&!tb case, so blocking may tile rows and columns but
+//     never the reduction dimension.
+//  2. Element-wise ops replicate the training loops verbatim (same guards,
+//     same operation order), including ReLU writing explicit zeros where the
+//     autograd version relied on zero-initialized output tensors.
+
+// Mat is a lightweight row-major matrix view used by the inference fast
+// path. It carries no autograd state; Data is typically Scratch-owned and
+// only valid until the owning Scratch is reset.
+type Mat struct {
+	R, C int
+	Data []float64
+}
+
+// Row returns row i of the matrix.
+func (m Mat) Row(i int) []float64 { return m.Data[i*m.C : (i+1)*m.C] }
+
+// scratchSlabSize is the default arena slab, sized so a typical plan forward
+// pass fits in one or two slabs.
+const scratchSlabSize = 1 << 14
+
+// Scratch is a slab-based bump allocator for inference activations. A
+// Scratch is reused across forward passes via Reset, which makes every
+// allocation after warm-up a pointer bump into an existing slab. It is not
+// safe for concurrent use; serving code keeps one Scratch per worker (see
+// internal/predictor's scratch pool).
+type Scratch struct {
+	slabs [][]float64
+	slab  int // index of the slab currently being filled
+	off   int // fill offset within the active slab
+}
+
+// Reset recycles every slab; previously returned slices become invalid.
+func (s *Scratch) Reset() {
+	s.slab, s.off = 0, 0
+}
+
+// Floats returns an n-element slice from the arena. The contents are NOT
+// zeroed — callers either fully overwrite the result or use FloatsZero.
+func (s *Scratch) Floats(n int) []float64 {
+	for {
+		if s.slab < len(s.slabs) {
+			sl := s.slabs[s.slab]
+			if s.off+n <= len(sl) {
+				out := sl[s.off : s.off+n : s.off+n]
+				s.off += n
+				return out
+			}
+			// The tail of this slab is too small; move on. The waste is
+			// bounded by one request per slab and vanishes after warm-up.
+			s.slab++
+			s.off = 0
+			continue
+		}
+		size := scratchSlabSize
+		if n > size {
+			size = n
+		}
+		s.slabs = append(s.slabs, make([]float64, size))
+	}
+}
+
+// FloatsZero is Floats with the result zeroed — for accumulators and
+// gather targets that rely on zero initialization.
+func (s *Scratch) FloatsZero(n int) []float64 {
+	out := s.Floats(n)
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// Mat returns an r×c matrix backed by the arena (contents not zeroed).
+func (s *Scratch) Mat(r, c int) Mat { return Mat{R: r, C: c, Data: s.Floats(r * c)} }
+
+// MatZero is Mat with zeroed contents.
+func (s *Scratch) MatZero(r, c int) Mat { return Mat{R: r, C: c, Data: s.FloatsZero(r * c)} }
+
+// inferBlock tiles the row/column loops of the NT kernel for cache locality.
+// The reduction (k) dimension is deliberately never tiled: splitting it would
+// reorder floating-point accumulation and break bit-exactness with the
+// autograd kernels.
+const inferBlock = 48
+
+// MatMulNTInto computes dst = a @ b^T where a is n×k and bt is the
+// row-major m×k transpose of b. Each output element is a full-length dot
+// product over p ascending that skips a-side zeros, making it bit-identical
+// to matmulAccum's !ta&&!tb case on the untransposed operands. Use it when
+// the transposed layout is what you already have (attention reads k directly
+// as the transposed operand); for sparse left operands prefer MatMulInto,
+// whose row-level zero skip does k zero-checks per output row instead of
+// this kernel's k×m.
+func MatMulNTInto(dst, a, bt []float64, n, k, m int) {
+	for i0 := 0; i0 < n; i0 += inferBlock {
+		i1 := i0 + inferBlock
+		if i1 > n {
+			i1 = n
+		}
+		for j0 := 0; j0 < m; j0 += inferBlock {
+			j1 := j0 + inferBlock
+			if j1 > m {
+				j1 = m
+			}
+			for i := i0; i < i1; i++ {
+				arow := a[i*k : (i+1)*k]
+				drow := dst[i*m : (i+1)*m]
+				for j := j0; j < j1; j++ {
+					brow := bt[j*k : (j+1)*k]
+					s := 0.0
+					for p, av := range arow {
+						if av == 0 {
+							continue
+						}
+						s += av * brow[p]
+					}
+					drow[j] = s
+				}
+			}
+		}
+	}
+}
+
+// MatMulInto computes dst = a @ b for row-major a (n×k) and b (k×m), using
+// the same zero-skipping kernel as the autograd MatMul.
+func MatMulInto(dst, a, b []float64, n, k, m int) {
+	matmulInto(dst, a, b, n, k, m, false, false)
+}
+
+// ForwardInfer applies the layer to x (n×in) inside the scratch arena. It
+// deliberately uses the training-shaped axpy kernel rather than a
+// transposed-weight NT kernel: plan encodings (and ReLU activations) are
+// mostly zeros, and the axpy kernel skips a whole row of multiplies per zero
+// input element where an NT dot product would re-test that zero once per
+// output column. On the sparse serving inputs that is the difference between
+// the inference forward beating the autograd forward and trailing it.
+func (l *Linear) ForwardInfer(s *Scratch, x Mat) Mat {
+	out := s.Mat(x.R, l.W.C)
+	MatMulInto(out.Data, x.Data, l.W.Data, x.R, x.C, l.W.C)
+	b := l.B.Data
+	for i := 0; i < out.R; i++ {
+		row := out.Data[i*out.C : (i+1)*out.C]
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+	return out
+}
+
+// ReLUInPlace applies max(0, x) element-wise, writing explicit zeros where
+// the autograd ReLU relied on a zero-initialized output tensor.
+func ReLUInPlace(m Mat) {
+	for i, v := range m.Data {
+		if v > 0 {
+			m.Data[i] = v
+		} else {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func ScaleInPlace(m Mat, s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddInto computes dst = a + b element-wise (all same shape).
+func AddInto(dst, a, b Mat) {
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// SoftmaxRowsInPlace applies a row-wise softmax with the exact loop structure
+// of the autograd SoftmaxRows (max-shift, exp, accumulate, divide).
+func SoftmaxRowsInPlace(m Mat) {
+	for i := 0; i < m.R; i++ {
+		row := m.Data[i*m.C : (i+1)*m.C]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			row[j] = math.Exp(v - maxV)
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+}
+
+// GatherConcat3Into builds, for each row i, [x[self[i]]; x[left[i]];
+// x[right[i]]] into dst (len(self)×3C), zeros for index -1 — the inference
+// twin of GatherConcat3.
+func GatherConcat3Into(dst Mat, x Mat, self, left, right []int) {
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	gather := func(dstOff int, idx []int) {
+		for i, ix := range idx {
+			if ix < 0 {
+				continue
+			}
+			copy(dst.Data[i*dst.C+dstOff:i*dst.C+dstOff+x.C], x.Data[ix*x.C:(ix+1)*x.C])
+		}
+	}
+	gather(0, self)
+	gather(x.C, left)
+	gather(2*x.C, right)
+}
+
+// MeanRowsInto pools an n×C matrix into the C-element dst by averaging rows,
+// matching MeanRows' accumulation order exactly.
+func MeanRowsInto(dst []float64, a Mat) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	if a.R == 0 {
+		return
+	}
+	inv := 1 / float64(a.R)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			dst[j] += a.Data[i*a.C+j] * inv
+		}
+	}
+}
+
+// MaxRowsInto pools an n×C matrix into dst by max over rows.
+func MaxRowsInto(dst []float64, a Mat) {
+	if a.R == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	for j := 0; j < a.C; j++ {
+		best := a.Data[j]
+		for i := 1; i < a.R; i++ {
+			if v := a.Data[i*a.C+j]; v > best {
+				best = v
+			}
+		}
+		dst[j] = best
+	}
+}
+
+// SumRowsInto pools an n×C matrix into dst by summing rows scaled by s,
+// matching SumRows' accumulation order exactly.
+func SumRowsInto(dst []float64, a Mat, s float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			dst[j] += a.Data[i*a.C+j] * s
+		}
+	}
+}
+
+// ForwardInfer applies the tree convolution inside the scratch arena.
+func (tc *TreeConv) ForwardInfer(s *Scratch, x Mat, self, left, right []int) Mat {
+	g := s.Mat(len(self), 3*x.C)
+	GatherConcat3Into(g, x, self, left, right)
+	out := tc.Lin.ForwardInfer(s, g)
+	ReLUInPlace(out)
+	return out
+}
+
+// ForwardInfer applies the graph convolution inside the scratch arena given
+// the normalized adjacency ahat (n×n).
+func (g *GCNLayer) ForwardInfer(s *Scratch, ahat, h Mat) Mat {
+	ah := s.Mat(ahat.R, h.C)
+	MatMulInto(ah.Data, ahat.Data, h.Data, ahat.R, ahat.C, h.C)
+	out := g.Lin.ForwardInfer(s, ah)
+	ReLUInPlace(out)
+	return out
+}
+
+// NormalizedAdjacencyInto fills dst (n×n, scratch-backed) with
+// Â = D^{-1/2}(A+I)D^{-1/2} using the same arithmetic as
+// NormalizedAdjacency.
+func NormalizedAdjacencyInto(s *Scratch, n int, edges [][2]int) Mat {
+	a := s.MatZero(n, n)
+	deg := s.FloatsZero(n)
+	fillNormalizedAdjacency(a.Data, deg, n, edges)
+	return a
+}
+
+// ForwardInfer applies the attention block inside the scratch arena. Unlike
+// the autograd Forward it never materializes k^T: the score matmul reads k
+// directly as the transposed operand (the satellite fix for the per-call
+// Transpose allocation in layers.go).
+func (a *Attention) ForwardInfer(s *Scratch, x Mat) Mat {
+	q := a.WQ.ForwardInfer(s, x)
+	k := a.WK.ForwardInfer(s, x)
+	v := a.WV.ForwardInfer(s, x)
+	scores := s.Mat(q.R, k.R)
+	MatMulNTInto(scores.Data, q.Data, k.Data, q.R, q.C, k.R)
+	ScaleInPlace(scores, 1/math.Sqrt(float64(a.dim)))
+	SoftmaxRowsInPlace(scores)
+	att := s.Mat(scores.R, v.C)
+	MatMulInto(att.Data, scores.Data, v.Data, scores.R, scores.C, v.C)
+	h := s.Mat(x.R, x.C)
+	AddInto(h, x, att)
+	ff1 := a.FF1.ForwardInfer(s, h)
+	ReLUInPlace(ff1)
+	ff := a.FF2.ForwardInfer(s, ff1)
+	out := s.Mat(h.R, h.C)
+	AddInto(out, h, ff)
+	return out
+}

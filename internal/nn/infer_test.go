@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"loam/internal/simrand"
+)
+
+// randMat fills an r×c matrix with a mix of random values and exact zeros so
+// the zero-skipping kernels exercise both branches.
+func randMat(rng *simrand.RNG, r, c int) []float64 {
+	data := make([]float64, r*c)
+	for i := range data {
+		if rng.Float64() < 0.25 {
+			continue // exact zero
+		}
+		data[i] = rng.Uniform(-2, 2)
+	}
+	return data
+}
+
+func sameBits(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d != %d", name, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: element %d differs: %v (%#x) vs %v (%#x)",
+				name, i, want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+		}
+	}
+}
+
+func TestLinearForwardInferBitIdentical(t *testing.T) {
+	rng := simrand.New(11)
+	for _, shape := range [][3]int{{1, 7, 5}, {4, 16, 9}, {60, 33, 50}} {
+		n, in, out := shape[0], shape[1], shape[2]
+		l := NewLinear(rng.Derive("lin"), in, out)
+		x := randMat(rng, n, in)
+
+		want := l.Forward(FromData(n, in, x))
+
+		var s Scratch
+		got := l.ForwardInfer(&s, Mat{R: n, C: in, Data: x})
+		sameBits(t, "linear", want.Data, got.Data)
+	}
+}
+
+func TestMatMulNTIntoMatchesMatMul(t *testing.T) {
+	rng := simrand.New(12)
+	// n×k @ k×m through both kernels; the NT kernel sees b pre-transposed.
+	n, k, m := 9, 14, 6
+	a := randMat(rng, n, k)
+	b := randMat(rng, k, m)
+	bt := make([]float64, k*m)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			bt[j*k+i] = b[i*m+j]
+		}
+	}
+	want := MatMul(FromData(n, k, a), FromData(k, m, b))
+	got := make([]float64, n*m)
+	MatMulNTInto(got, a, bt, n, k, m)
+	sameBits(t, "matmulNT", want.Data, got)
+}
+
+func TestTreeConvForwardInferBitIdentical(t *testing.T) {
+	rng := simrand.New(13)
+	n, in, out := 7, 10, 8
+	tc := NewTreeConv(rng.Derive("tc"), in, out)
+	x := randMat(rng, n, in)
+	self := []int{0, 1, 2, 3, 4, 5, 6}
+	left := []int{1, 3, 5, -1, -1, -1, -1}
+	right := []int{2, 4, 6, -1, -1, -1, -1}
+
+	want := tc.Forward(FromData(n, in, x), self, left, right)
+
+	var s Scratch
+	got := tc.ForwardInfer(&s, Mat{R: n, C: in, Data: x}, self, left, right)
+	sameBits(t, "treeconv", want.Data, got.Data)
+}
+
+func TestGCNForwardInferBitIdentical(t *testing.T) {
+	rng := simrand.New(14)
+	n, in, out := 6, 9, 7
+	g := NewGCNLayer(rng.Derive("gcn"), in, out)
+	x := randMat(rng, n, in)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {2, 5}}
+
+	ahat := NormalizedAdjacency(n, edges)
+	want := g.Forward(ahat, FromData(n, in, x))
+
+	var s Scratch
+	ahatI := NormalizedAdjacencyInto(&s, n, edges)
+	sameBits(t, "adjacency", ahat.Data, ahatI.Data)
+	got := g.ForwardInfer(&s, ahatI, Mat{R: n, C: in, Data: x})
+	sameBits(t, "gcn", want.Data, got.Data)
+}
+
+func TestAttentionForwardInferBitIdentical(t *testing.T) {
+	rng := simrand.New(15)
+	seq, dim := 11, 12
+	a := NewAttention(rng.Derive("att"), dim, 2*dim)
+	x := randMat(rng, seq, dim)
+
+	want := a.Forward(FromData(seq, dim, x))
+
+	var s Scratch
+	got := a.ForwardInfer(&s, Mat{R: seq, C: dim, Data: x})
+	sameBits(t, "attention", want.Data, got.Data)
+}
+
+func TestPoolingIntoBitIdentical(t *testing.T) {
+	rng := simrand.New(16)
+	x := randMat(rng, 9, 13)
+	xt := FromData(9, 13, x)
+	xm := Mat{R: 9, C: 13, Data: x}
+
+	var s Scratch
+	mean := s.Floats(13)
+	MeanRowsInto(mean, xm)
+	sameBits(t, "mean", MeanRows(xt).Data, mean)
+
+	max := s.Floats(13)
+	MaxRowsInto(max, xm)
+	sameBits(t, "max", MaxRows(xt).Data, max)
+
+	sum := s.Floats(13)
+	SumRowsInto(sum, xm, 1.0/16)
+	sameBits(t, "sum", SumRows(xt, 1.0/16).Data, sum)
+}
+
+// TestScratchReuse verifies that a Scratch grows once and then serves
+// repeated identical request sequences without allocating.
+func TestScratchReuse(t *testing.T) {
+	var s Scratch
+	shapes := [][2]int{{8, 120}, {8, 32}, {1, 96}, {1, 24}, {40, 40}}
+	warm := func() {
+		s.Reset()
+		for _, sh := range shapes {
+			m := s.Mat(sh[0], sh[1])
+			m.Data[0] = 1
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("warmed scratch allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestAttentionInferZeroAlloc is the allocation regression test for the
+// inference forward: after warm-up, a full attention block forward performs
+// zero heap allocations.
+func TestAttentionInferZeroAlloc(t *testing.T) {
+	rng := simrand.New(17)
+	seq, dim := 10, 16
+	a := NewAttention(rng.Derive("att"), dim, 2*dim)
+	x := randMat(rng, seq, dim)
+	xm := Mat{R: seq, C: dim, Data: x}
+
+	var s Scratch
+	run := func() {
+		s.Reset()
+		out := a.ForwardInfer(&s, xm)
+		if out.R != seq {
+			t.Fatal("bad shape")
+		}
+	}
+	run() // warm: slabs grow, transposed weights precompute
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs != 0 {
+		t.Fatalf("warmed attention inference allocated %.1f times per run, want 0", allocs)
+	}
+}

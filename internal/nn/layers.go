@@ -101,29 +101,33 @@ func (g *GCNLayer) Params() []*Tensor { return g.Lin.Params() }
 func NormalizedAdjacency(n int, edges [][2]int) *Tensor {
 	a := New(n, n)
 	deg := make([]float64, n)
-	add := func(i, j int) {
-		a.Data[i*n+j] = 1
-		a.Data[j*n+i] = 1
-	}
+	fillNormalizedAdjacency(a.Data, deg, n, edges)
+	return a
+}
+
+// fillNormalizedAdjacency writes Â into the zeroed n×n buffer a, using deg
+// (zeroed, length n) as workspace. Shared by the autograd and inference
+// paths so both produce bit-identical adjacencies.
+func fillNormalizedAdjacency(a, deg []float64, n int, edges [][2]int) {
 	for i := 0; i < n; i++ {
-		a.Data[i*n+i] = 1
+		a[i*n+i] = 1
 	}
 	for _, e := range edges {
-		add(e[0], e[1])
+		a[e[0]*n+e[1]] = 1
+		a[e[1]*n+e[0]] = 1
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			deg[i] += a.Data[i*n+j]
+			deg[i] += a[i*n+j]
 		}
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if a.Data[i*n+j] != 0 {
-				a.Data[i*n+j] /= math.Sqrt(deg[i] * deg[j])
+			if a[i*n+j] != 0 {
+				a[i*n+j] /= math.Sqrt(deg[i] * deg[j])
 			}
 		}
 	}
-	return a
 }
 
 // Attention is one self-attention block with a position-wise feed-forward

@@ -1,10 +1,8 @@
 package plan
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
 
@@ -166,63 +164,44 @@ func (n *Node) canonicalizeInPlace() {
 
 // Fingerprint returns a structural hash of the subtree covering operator
 // types, attributes, and predicate shapes. Two plans with equal fingerprints
-// are treated as duplicates by the explorer.
+// are treated as duplicates by the explorer, and the predictor keys its
+// plan-embedding cache on it, so fingerprinting runs on the serving hot path
+// and must not allocate (see TestFingerprintZeroAlloc).
 func (n *Node) Fingerprint() uint64 {
-	h := fnv.New64a()
-	n.fingerprint(h)
-	return h.Sum64()
+	return uint64(n.fingerprint(expr.NewHash()))
 }
 
-type hasher interface {
-	Write(p []byte) (int, error)
-}
-
-func (n *Node) fingerprint(h hasher) {
+func (n *Node) fingerprint(h expr.Hash) expr.Hash {
 	if n == nil {
-		writeString(h, "<nil>")
-		return
+		return h.Str("<nil>")
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(n.Op))
-	_, _ = h.Write(buf[:])
-	writeString(h, n.Table)
-	writeInt(h, n.PartitionsRead)
-	writeInt(h, n.ColumnsAccessed)
-	writeInt(h, int(n.JoinForm))
+	h = h.Uint64(uint64(n.Op))
+	h = h.Str(n.Table)
+	h = h.Int(n.PartitionsRead)
+	h = h.Int(n.ColumnsAccessed)
+	h = h.Int(int(n.JoinForm))
 	for _, c := range n.LeftCols {
-		writeString(h, c.String())
+		h = c.AppendHash(h)
 	}
 	for _, c := range n.RightCols {
-		writeString(h, c.String())
+		h = c.AppendHash(h)
 	}
 	for _, a := range n.AggFuncs {
-		writeInt(h, int(a))
+		h = h.Int(int(a))
 	}
 	for _, c := range n.AggCols {
-		writeString(h, c.String())
+		h = c.AppendHash(h)
 	}
 	for _, c := range n.GroupCols {
-		writeString(h, c.String())
+		h = c.AppendHash(h)
 	}
-	if n.Pred != nil {
-		writeString(h, n.Pred.String())
-	}
-	writeInt(h, n.Parallelism)
-	writeInt(h, len(n.Children))
+	h = n.Pred.AppendHash(h) // nil-aware: a presence byte separates TRUE from any real predicate
+	h = h.Int(n.Parallelism)
+	h = h.Int(len(n.Children))
 	for _, c := range n.Children {
-		c.fingerprint(h)
+		h = c.fingerprint(h)
 	}
-}
-
-func writeString(h hasher, s string) {
-	_, _ = h.Write([]byte(s))
-	_, _ = h.Write([]byte{0})
-}
-
-func writeInt(h hasher, v int) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-	_, _ = h.Write(buf[:])
+	return h
 }
 
 // MarshalJSON round-trips the plan through encoding/json.

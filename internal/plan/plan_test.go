@@ -37,6 +37,23 @@ func samplePlan() *Plan {
 	return &Plan{Root: &Node{Op: OpSelect, Children: []*Node{agg}}}
 }
 
+// TestFingerprintZeroAlloc guards the serving-path contract: the predictor
+// fingerprints every candidate plan on every cached SelectPlan, so the
+// structural hash must not allocate (no stdlib hash writer, no intermediate
+// column/predicate strings).
+func TestFingerprintZeroAlloc(t *testing.T) {
+	p := samplePlan()
+	want := p.Root.Fingerprint()
+	allocs := testing.AllocsPerRun(100, func() {
+		if p.Root.Fingerprint() != want {
+			t.Fatal("fingerprint not stable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Fingerprint allocated %.1f times per call, want 0", allocs)
+	}
+}
+
 func TestCloneDeep(t *testing.T) {
 	p := samplePlan()
 	c := p.Clone()

@@ -36,8 +36,12 @@ func (k Kind) String() string {
 }
 
 // backbone turns an encoded plan into a 1×emb embedding (PlanEmb in Fig. 3).
+// embed builds the autograd graph used during training; embedInfer is the
+// allocation-free serving path (see infer.go) and must return bit-identical
+// values in scratch-backed storage.
 type backbone interface {
 	embed(p *plan.Plan, envs encoding.EnvSource) *nn.Tensor
+	embedInfer(s *inferScratch, p *plan.Plan, envs encoding.EnvSource) nn.Mat
 	params() []*nn.Tensor
 }
 

@@ -1,0 +1,158 @@
+package predictor
+
+import "sync"
+
+// planCache is a bounded LRU of plan embeddings keyed by the plan's
+// structural fingerprint plus the environment key — the two inputs that fully
+// determine a backbone embedding (weights are fixed per deployed predictor;
+// deployment replaces the cache wholesale, which is the invalidation rule).
+//
+// It is a singleflight cache: the first goroutine to miss a key inserts an
+// in-flight entry and computes; concurrent lookups of the same key count as
+// hits and block on the entry's done channel instead of recomputing. That
+// keeps hit/miss totals a function of the request sequence alone, not of
+// scheduling — required by the deterministic-telemetry contract. Eviction is
+// strict LRU from the tail of an intrusive list, so with a fixed request
+// order the eviction sequence is deterministic too.
+type planCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[cacheKey]*cacheEntry
+	head *cacheEntry // most recently used
+	tail *cacheEntry // least recently used
+	tel  *predictorTelemetry
+}
+
+// cacheKey identifies one embedding: the env-independent structural plan
+// fingerprint and the EnvKey sum of a keyed environment source.
+type cacheKey struct {
+	plan uint64
+	env  uint64
+}
+
+type cacheEntry struct {
+	key        cacheKey
+	emb        []float64
+	done       chan struct{} // closed once emb is final (or the compute failed)
+	failed     bool          // set before close(done) if the compute panicked
+	prev, next *cacheEntry
+}
+
+func newPlanCache(capacity int, tel *predictorTelemetry) *planCache {
+	return &planCache{
+		cap: capacity,
+		m:   make(map[cacheKey]*cacheEntry, capacity),
+		tel: tel,
+	}
+}
+
+// list ops — caller holds mu.
+
+func (c *planCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *planCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *planCache) moveFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// getOrCompute returns the cached embedding for key, computing it via compute
+// on a miss. The returned slice is cache-owned and must not be mutated.
+// Whether a lookup is a hit depends only on whether the key was present (or
+// in flight) at lookup time, so totals do not vary with worker interleaving
+// of *distinct* keys.
+func (c *planCache) getOrCompute(key cacheKey, compute func() []float64) []float64 {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.moveFront(e)
+		c.tel.cacheHits.Inc()
+		c.mu.Unlock()
+		<-e.done
+		if !e.failed {
+			return e.emb
+		}
+		// The computing goroutine died; fall back to computing locally
+		// without touching the cache.
+		return compute()
+	}
+
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.m[key] = e
+	c.pushFront(e)
+	c.tel.cacheMisses.Inc()
+	for len(c.m) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.tel.cacheEvictions.Inc()
+	}
+	c.tel.cacheSize.Set(float64(len(c.m)))
+	c.mu.Unlock()
+
+	computed := false
+	defer func() {
+		if computed {
+			return
+		}
+		// compute panicked: drop the in-flight entry (unless already
+		// evicted) and release waiters so they retry locally.
+		c.mu.Lock()
+		if c.m[key] == e {
+			c.unlink(e)
+			delete(c.m, key)
+			c.tel.cacheSize.Set(float64(len(c.m)))
+		}
+		c.mu.Unlock()
+		e.failed = true
+		close(e.done)
+	}()
+	emb := compute()
+	e.emb = emb
+	computed = true
+	close(e.done)
+	return emb
+}
+
+// flush drops every entry. In-flight computations complete and deliver to
+// their waiters but are no longer retained.
+func (c *planCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[cacheKey]*cacheEntry, c.cap)
+	c.head, c.tail = nil, nil
+	c.tel.cacheFlushes.Inc()
+	c.tel.cacheSize.Set(0)
+}
+
+// len reports the current entry count (including in-flight entries).
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

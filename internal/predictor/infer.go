@@ -1,0 +1,177 @@
+package predictor
+
+import (
+	"sync"
+
+	"loam/internal/encoding"
+	"loam/internal/nn"
+	"loam/internal/plan"
+)
+
+// This file is the predictor's inference fast path: per-worker scratch
+// arenas, allocation-free backbone forwards (embedInfer), and the batched
+// cost-head scoring used by SelectPlan. Everything here is bit-identical to
+// the autograd training-path forwards (see internal/nn/infer.go for the
+// kernel-level contract), so routing serving through it changes latency and
+// allocation counts but never a single predicted cost or plan choice.
+
+// inferScratch bundles one worker's reusable inference state: the nn
+// activation arena plus the flat encoding buffers each backbone kind fills
+// in place. One inferScratch serves one forward pass at a time; workers each
+// borrow their own from the pool.
+type inferScratch struct {
+	nn nn.Scratch
+	ft encoding.FlatTree
+	fg encoding.FlatGraph
+	fs encoding.FlatSeq
+}
+
+// scratchPool recycles inference scratch state across queries and workers.
+var scratchPool = sync.Pool{New: func() any { return new(inferScratch) }}
+
+func getScratch() *inferScratch  { return scratchPool.Get().(*inferScratch) }
+func putScratch(s *inferScratch) { scratchPool.Put(s) }
+
+// poolConcat3 computes ConcatCols(MeanRows(x), MaxRows(x), SumRows(x, 1/16))
+// into a single 1×3C scratch row — the TCN/GCN pooling head.
+func poolConcat3(s *nn.Scratch, x nn.Mat) nn.Mat {
+	pooled := s.Mat(1, 3*x.C)
+	nn.MeanRowsInto(pooled.Data[:x.C], x)
+	nn.MaxRowsInto(pooled.Data[x.C:2*x.C], x)
+	nn.SumRowsInto(pooled.Data[2*x.C:], x, 1.0/16)
+	return pooled
+}
+
+func (b *tcnBackbone) embedInfer(s *inferScratch, p *plan.Plan, envs encoding.EnvSource) nn.Mat {
+	b.enc.EncodeTreeFlatInto(&s.ft, p, envs)
+	x := nn.Mat{R: s.ft.Len(), C: b.enc.Dim(), Data: s.ft.Feats}
+	for _, l := range b.layers {
+		x = l.ForwardInfer(&s.nn, x, s.ft.Self, s.ft.Left, s.ft.Right)
+	}
+	out := b.proj.ForwardInfer(&s.nn, poolConcat3(&s.nn, x))
+	nn.ReLUInPlace(out)
+	return out
+}
+
+func (b *gcnBackbone) embedInfer(s *inferScratch, p *plan.Plan, envs encoding.EnvSource) nn.Mat {
+	b.enc.EncodeGraphFlatInto(&s.fg, p, envs)
+	n := s.fg.Len()
+	ahat := nn.NormalizedAdjacencyInto(&s.nn, n, s.fg.Edges)
+	x := nn.Mat{R: n, C: b.enc.Dim(), Data: s.fg.Feats}
+	for _, l := range b.layers {
+		x = l.ForwardInfer(&s.nn, ahat, x)
+	}
+	out := b.proj.ForwardInfer(&s.nn, poolConcat3(&s.nn, x))
+	nn.ReLUInPlace(out)
+	return out
+}
+
+func (b *transformerBackbone) embedInfer(s *inferScratch, p *plan.Plan, envs encoding.EnvSource) nn.Mat {
+	b.enc.EncodeSequenceFlatInto(&s.fs, p, envs)
+	x := nn.Mat{R: s.fs.Len(), C: b.enc.SeqDim(), Data: s.fs.Feats}
+	x = b.inProj.ForwardInfer(&s.nn, x)
+	for _, blk := range b.blocks {
+		x = blk.ForwardInfer(&s.nn, x)
+	}
+	pooled := s.nn.Mat(1, 2*x.C)
+	nn.MeanRowsInto(pooled.Data[:x.C], x)
+	nn.SumRowsInto(pooled.Data[x.C:], x, 1.0/16)
+	out := b.proj.ForwardInfer(&s.nn, pooled)
+	nn.ReLUInPlace(out)
+	return out
+}
+
+// embedRow writes the embedding of pl into dst, consulting the plan cache
+// when one is enabled and the environment source is keyed. Cache values are
+// private copies, never scratch-backed slices.
+func (p *Predictor) embedRow(s *inferScratch, pl *plan.Plan, envs encoding.EnvSource, key encoding.EnvKey, dst []float64) {
+	if c := p.cache; c != nil && key.Keyed {
+		emb := c.getOrCompute(cacheKey{plan: pl.Root.Fingerprint(), env: key.Sum}, func() []float64 {
+			s.nn.Reset()
+			m := p.bb.embedInfer(s, pl, envs)
+			out := make([]float64, len(m.Data))
+			copy(out, m.Data)
+			return out
+		})
+		copy(dst, emb)
+		return
+	}
+	s.nn.Reset()
+	m := p.bb.embedInfer(s, pl, envs)
+	copy(dst, m.Data)
+}
+
+// scoreBatched fills costs for every candidate: embeddings are computed (or
+// fetched from the plan cache) per candidate — in parallel when the worker
+// budget allows — then stacked into one n×emb matrix and scored with a
+// single matrix-matrix forward through the cost head, replacing n
+// matrix-vector passes. Each output row is the same full-length dot product
+// the sequential head computes, so costs are bit-identical to scoring
+// candidates one at a time.
+func (p *Predictor) scoreBatched(costs []float64, cands []*plan.Plan, envs encoding.EnvSource, key encoding.EnvKey, workers int) {
+	n := len(cands)
+	embDim := p.costHead.W.R
+	batch := make([]float64, n*embDim)
+	if workers == 1 || n < parallelCandidateThreshold {
+		s := getScratch()
+		for i, c := range cands {
+			p.embedRow(s, c, envs, key, batch[i*embDim:(i+1)*embDim])
+		}
+		putScratch(s)
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := getScratch()
+				defer putScratch(s)
+				for i := range next {
+					p.embedRow(s, cands[i], envs, key, batch[i*embDim:(i+1)*embDim])
+				}
+			}()
+		}
+		for i := range cands {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	s := getScratch()
+	defer putScratch(s)
+	s.nn.Reset()
+	out := p.costHead.ForwardInfer(&s.nn, nn.Mat{R: n, C: embDim, Data: batch})
+	for i := range costs {
+		costs[i] = p.denormalize(out.Data[i])
+	}
+}
+
+// scoreXGB scores candidates through the XGBoost backbone, which has no
+// embedding to batch or cache; the per-candidate path fans out over the
+// worker pool exactly like the pre-fast-path SelectPlan.
+func (p *Predictor) scoreXGB(costs []float64, cands []*plan.Plan, envs encoding.EnvSource, workers int) {
+	if workers == 1 || len(cands) < parallelCandidateThreshold {
+		for i, c := range cands {
+			costs[i] = p.PredictCost(c, envs)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				costs[i] = p.PredictCost(cands[i], envs)
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,355 @@
+package predictor
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"loam/internal/encoding"
+	"loam/internal/floatsafe"
+	"loam/internal/plan"
+	"loam/internal/telemetry"
+)
+
+// referenceCosts scores candidates one at a time through the *training-path*
+// forward (autograd graph, no batching, no cache) — the ground truth every
+// serving path must reproduce bit for bit.
+func referenceCosts(p *Predictor, cands []*plan.Plan, envs encoding.EnvSource) []float64 {
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		emb := p.bb.embed(c, envs)
+		out[i] = p.denormalize(p.costHead.Forward(emb).Data[0])
+	}
+	return out
+}
+
+func costsSameBits(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d costs, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: cost %d differs: %v (%#x) vs %v (%#x)",
+				name, i, want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+		}
+	}
+}
+
+// TestScoringPathsBitIdentical verifies that every serving path — sequential,
+// batched-parallel, and cached keyed scoring (cold and warm) — produces
+// bit-identical costs and the same chosen plan as per-candidate training-path
+// forwards, for each neural backbone.
+func TestScoringPathsBitIdentical(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(80, 21)
+	cands := make([]*plan.Plan, 0, 8)
+	for i := 0; i < 8; i++ {
+		cands = append(cands, samples[i*3].Plan)
+	}
+	for _, kind := range []Kind{KindTCN, KindTransformer, KindGCN} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := Train(tinyConfig(kind), enc, samples, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			envs := encoding.FixedEnv(p.TrainMeanEnv())
+			key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+			want := referenceCosts(p, cands, envs)
+			wantBest := cands[floatsafe.ArgMin(want)]
+
+			check := func(name string, best *plan.Plan, costs []float64, err error) {
+				t.Helper()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				costsSameBits(t, name, want, costs)
+				if best != wantBest {
+					t.Fatalf("%s chose a different plan", name)
+				}
+			}
+
+			best, costs, err := p.SelectPlanParallel(cands, envs, 1)
+			check("sequential", best, costs, err)
+			best, costs, err = p.SelectPlanParallel(cands, envs, 4)
+			check("parallel", best, costs, err)
+
+			p.EnablePlanCache(64)
+			best, costs, err = p.SelectPlanKeyed(cands, envs, key)
+			check("keyed-cold", best, costs, err)
+			best, costs, err = p.SelectPlanKeyed(cands, envs, key)
+			check("keyed-warm", best, costs, err)
+
+			for i, c := range cands {
+				got := p.PredictCost(c, envs)
+				if math.Float64bits(got) != math.Float64bits(want[i]) {
+					t.Fatalf("PredictCost(%d) = %v, want %v", i, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPlanCacheCounters pins the cache telemetry: first keyed select misses
+// once per distinct plan, the second hits once per plan, and totals are
+// independent of embedding-worker interleaving because hit/miss is decided
+// under the cache lock at lookup time.
+func TestPlanCacheCounters(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(60, 22)
+	cands := []*plan.Plan{samples[0].Plan, samples[3].Plan, samples[6].Plan, samples[9].Plan, samples[12].Plan}
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	p.Instrument(reg)
+	p.EnablePlanCache(64)
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+
+	if _, _, err := p.SelectPlanKeyed(cands, envs, key); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := p.tel.cacheHits.Value(), p.tel.cacheMisses.Value(); h != 0 || m != int64(len(cands)) {
+		t.Fatalf("cold select: hits=%d misses=%d, want 0/%d", h, m, len(cands))
+	}
+	if _, _, err := p.SelectPlanKeyed(cands, envs, key); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := p.tel.cacheHits.Value(), p.tel.cacheMisses.Value(); h != int64(len(cands)) || m != int64(len(cands)) {
+		t.Fatalf("warm select: hits=%d misses=%d, want %d/%d", h, m, len(cands), len(cands))
+	}
+	if n := p.PlanCacheLen(); n != len(cands) {
+		t.Fatalf("cache holds %d embeddings, want %d", n, len(cands))
+	}
+
+	// A different environment key must not share entries.
+	other := p.EnvKeyFor(StrategyClusterCurrent, [4]float64{}, [4]float64{0.9, 0.9, 0.9, 0.9})
+	if _, _, err := p.SelectPlanKeyed(cands, encoding.FixedEnv([4]float64{0.9, 0.9, 0.9, 0.9}), other); err != nil {
+		t.Fatal(err)
+	}
+	if m := p.tel.cacheMisses.Value(); m != 2*int64(len(cands)) {
+		t.Fatalf("distinct env key reused entries: misses=%d", m)
+	}
+}
+
+// TestPlanCacheUnkeyedBypass: unkeyed selection (SelectPlan / zero EnvKey)
+// must never populate the cache — per-node environment sources have no
+// hashable identity.
+func TestPlanCacheUnkeyedBypass(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 23)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnablePlanCache(64)
+	cands := []*plan.Plan{samples[0].Plan, samples[1].Plan, samples[2].Plan, samples[3].Plan}
+	if _, _, err := p.SelectPlan(cands, encoding.FixedEnv(p.TrainMeanEnv())); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.PlanCacheLen(); n != 0 {
+		t.Fatalf("unkeyed selection cached %d embeddings", n)
+	}
+}
+
+// TestPlanCacheEvictionAndFlush verifies bounded LRU eviction order and that
+// FlushPlanCache / EnablePlanCache drop all entries.
+func TestPlanCacheEvictionAndFlush(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 24)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	p.Instrument(reg)
+	p.EnablePlanCache(2)
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+
+	a, b, c := samples[0].Plan, samples[1].Plan, samples[2].Plan
+	for _, pl := range []*plan.Plan{a, b, c} {
+		if _, _, err := p.SelectPlanKeyed([]*plan.Plan{pl}, envs, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev := p.tel.cacheEvictions.Value(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1 (capacity 2, 3 inserts)", ev)
+	}
+	if n := p.PlanCacheLen(); n != 2 {
+		t.Fatalf("cache holds %d, want 2", n)
+	}
+	// a was evicted (LRU); touching it again must miss.
+	misses := p.tel.cacheMisses.Value()
+	if _, _, err := p.SelectPlanKeyed([]*plan.Plan{a, b, c}[:1], envs, key); err != nil {
+		t.Fatal(err)
+	}
+	if m := p.tel.cacheMisses.Value(); m != misses+1 {
+		t.Fatalf("evicted entry did not miss: misses %d -> %d", misses, m)
+	}
+
+	p.FlushPlanCache()
+	if n := p.PlanCacheLen(); n != 0 {
+		t.Fatalf("flush left %d entries", n)
+	}
+	if f := p.tel.cacheFlushes.Value(); f != 1 {
+		t.Fatalf("flushes = %d, want 1", f)
+	}
+	// Re-enabling replaces the cache wholesale — the retrain/redeploy
+	// invalidation rule.
+	p.EnablePlanCache(64)
+	if n := p.PlanCacheLen(); n != 0 {
+		t.Fatalf("fresh cache holds %d entries", n)
+	}
+}
+
+// TestPlanCacheConcurrent hammers one shared cache from many goroutines mixing
+// keyed selects and PredictCost; run under -race this is the predictor-level
+// data-race test for the singleflight cache.
+func TestPlanCacheConcurrent(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(60, 25)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnablePlanCache(8) // small: forces concurrent eviction too
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+	cands := make([]*plan.Plan, 12)
+	for i := range cands {
+		cands[i] = samples[i].Plan
+	}
+	want := referenceCosts(p, cands, envs)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 15; it++ {
+				lo := (g + it) % 6
+				sub := cands[lo : lo+6]
+				_, costs, err := p.SelectPlanKeyed(sub, envs, key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range costs {
+					if math.Float64bits(costs[i]) != math.Float64bits(want[lo+i]) {
+						t.Errorf("goroutine %d: cost %d drifted", g, lo+i)
+						return
+					}
+				}
+				_ = p.PredictCost(cands[it%len(cands)], envs)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// benchPredictor trains one small TCN predictor and returns it with a
+// recurring plan + env source, shared by the before/after forward benchmarks.
+func benchPredictor(b *testing.B) (*Predictor, *plan.Plan, encoding.EnvSource) {
+	b.Helper()
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(60, 27)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, samples[0].Plan, encoding.FixedEnv(p.TrainMeanEnv())
+}
+
+// BenchmarkForwardTrainingPath is the "before" number: one cost prediction
+// through the autograd forward (graph construction, per-op tensor + gradient
+// allocation) that serving used prior to the inference fast path.
+func BenchmarkForwardTrainingPath(b *testing.B) {
+	p, pl, envs := benchPredictor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emb := p.bb.embed(pl, envs)
+		_ = p.denormalize(p.costHead.Forward(emb).Data[0])
+	}
+}
+
+// BenchmarkForwardInfer is the "after" number: the same prediction through
+// PredictCost's allocation-free inference forward.
+func BenchmarkForwardInfer(b *testing.B) {
+	p, pl, envs := benchPredictor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.PredictCost(pl, envs)
+	}
+}
+
+// BenchmarkSelectPlanUncached scores an 8-candidate set per iteration with
+// the cache disabled (batched head, fresh embeddings each time).
+func BenchmarkSelectPlanUncached(b *testing.B) {
+	p, _, envs := benchPredictor(b)
+	samples, _ := synthetic(40, 28)
+	cands := make([]*plan.Plan, 8)
+	for i := range cands {
+		cands[i] = samples[i].Plan
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.SelectPlanParallel(cands, envs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectPlanCached scores the same recurring 8-candidate set with a
+// warm plan-embedding cache — the recurring-query serving hot path.
+func BenchmarkSelectPlanCached(b *testing.B) {
+	p, _, envs := benchPredictor(b)
+	samples, _ := synthetic(40, 28)
+	cands := make([]*plan.Plan, 8)
+	for i := range cands {
+		cands[i] = samples[i].Plan
+	}
+	p.EnablePlanCache(64)
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+	if _, _, err := p.SelectPlanKeyed(cands, envs, key); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.SelectPlanKeyed(cands, envs, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPredictCostZeroAlloc is the serving-path allocation regression test:
+// after warm-up, PredictCost on a binary predicate-free plan performs zero
+// heap allocations (scratch comes from the pool, encoders and kernels reuse
+// their buffers, and no autograd graph is built).
+func TestPredictCostZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(60, 26)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &plan.Plan{Root: &plan.Node{Op: plan.OpSelect, Children: []*plan.Node{
+		{Op: plan.OpTableScan, Table: "mid", PartitionsRead: 4, ColumnsAccessed: 2},
+		{Op: plan.OpTableScan, Table: "big", PartitionsRead: 2, ColumnsAccessed: 3},
+	}}}
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	p.PredictCost(pl, envs) // warm the pooled scratch
+	allocs := testing.AllocsPerRun(100, func() { p.PredictCost(pl, envs) })
+	if allocs != 0 {
+		t.Fatalf("warmed PredictCost allocated %.1f times per run, want 0", allocs)
+	}
+}

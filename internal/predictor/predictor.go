@@ -11,9 +11,9 @@ import (
 	"errors"
 	"math"
 	"runtime"
-	"sync"
 
 	"loam/internal/encoding"
+	"loam/internal/floatsafe"
 	"loam/internal/nn"
 	"loam/internal/plan"
 	"loam/internal/simrand"
@@ -98,6 +98,11 @@ type Predictor struct {
 	// training plans — the §5 representative instance e_r.
 	trainMeanEnv [4]float64
 
+	// cache, when non-nil, memoizes plan embeddings for keyed environment
+	// sources (see cache.go). Configured via EnablePlanCache, typically by
+	// the deployment layer; nil disables caching entirely.
+	cache *planCache
+
 	metrics Metrics
 	tel     predictorTelemetry
 }
@@ -122,6 +127,12 @@ type predictorTelemetry struct {
 	selectNoFinite   *telemetry.Counter
 	selectCandidates *telemetry.Histogram
 	selectTime       *telemetry.Timer
+
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	cacheEvictions *telemetry.Counter
+	cacheFlushes   *telemetry.Counter
+	cacheSize      *telemetry.Gauge
 }
 
 // Instrument wires the predictor's training and plan-selection metrics into
@@ -144,6 +155,12 @@ func (p *Predictor) Instrument(reg *telemetry.Registry) {
 		selectNoFinite:   reg.Counter("predictor.selectplan.no_finite"),
 		selectCandidates: reg.Histogram("predictor.selectplan.candidates", telemetry.LinearBuckets(1, 1, 8)),
 		selectTime:       reg.Timer("predictor.selectplan.time"),
+
+		cacheHits:      reg.Counter("predictor.cache.hits"),
+		cacheMisses:    reg.Counter("predictor.cache.misses"),
+		cacheEvictions: reg.Counter("predictor.cache.evictions"),
+		cacheFlushes:   reg.Counter("predictor.cache.flushes"),
+		cacheSize:      reg.Gauge("predictor.cache.size"),
 	}
 }
 
@@ -397,8 +414,10 @@ func (p *Predictor) EncoderConfig() encoding.Config { return p.encCfg }
 
 // PredictCost estimates a plan's CPU cost under the given environment
 // source. It is safe for concurrent use once training has returned: the
-// forward pass only reads the trained weights and allocates fresh activation
-// tensors per call (see the internal/nn package doc).
+// forward pass only reads the trained weights, and each call borrows private
+// scratch buffers from a pool instead of building an autograd graph. The
+// inference forward is bit-identical to the training-path forward (see
+// internal/nn/infer.go), so moving serving onto it changed no estimate.
 func (p *Predictor) PredictCost(pl *plan.Plan, envs encoding.EnvSource) float64 {
 	if !p.cfg.UseEnv {
 		envs = encoding.NoEnv()
@@ -406,8 +425,11 @@ func (p *Predictor) PredictCost(pl *plan.Plan, envs encoding.EnvSource) float64 
 	if p.cfg.Kind == KindXGBoost {
 		return p.denormalize(p.xgbModel.Predict(p.enc.EncodeFlat(pl, envs)))
 	}
-	emb := p.bb.embed(pl, envs)
-	out := p.costHead.Forward(emb)
+	s := getScratch()
+	defer putScratch(s)
+	s.nn.Reset()
+	emb := p.bb.embedInfer(s, pl, envs)
+	out := p.costHead.ForwardInfer(&s.nn, emb)
 	return p.denormalize(out.Data[0])
 }
 
@@ -470,23 +492,37 @@ func (p *Predictor) EnvSourceFor(s Strategy, clusterExpected, clusterCurrent [4]
 const parallelCandidateThreshold = 4
 
 // SelectPlan returns the candidate with the lowest estimated cost, along
-// with all estimates. Candidates are scored concurrently on a bounded worker
-// pool when the set is large enough (they are independent, and the forward
-// pass is read-only); ties and NaN handling are identical to the sequential
-// path, so the chosen plan never depends on the degree of parallelism.
+// with all estimates. Candidate embeddings are computed (or fetched from the
+// plan cache, when enabled and the environment is keyed) concurrently on a
+// bounded worker pool when the set is large enough, then scored through the
+// cost head in a single batched matrix-matrix pass. The batched pass produces
+// bit-identical costs to scoring candidates one at a time, and ties and NaN
+// handling match the sequential argmin, so the chosen plan never depends on
+// batching or the degree of parallelism.
 //
 // An empty candidate set returns ErrNoCandidates; candidates whose estimate
 // is NaN are skipped when choosing, and if every estimate is NaN the error is
 // ErrNoFiniteEstimate. The costs slice is returned even on
 // ErrNoFiniteEstimate so callers can log the estimates.
 func (p *Predictor) SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (best *plan.Plan, costs []float64, err error) {
-	return p.SelectPlanParallel(cands, envs, 0)
+	return p.selectPlan(cands, envs, encoding.EnvKey{}, 0)
 }
 
 // SelectPlanParallel is SelectPlan with an explicit worker count: 0 means
 // runtime.GOMAXPROCS(0), 1 forces the sequential path (used by benchmarks to
-// compare against), and anything larger bounds the scoring pool.
+// compare against), and anything larger bounds the embedding pool.
 func (p *Predictor) SelectPlanParallel(cands []*plan.Plan, envs encoding.EnvSource, workers int) (best *plan.Plan, costs []float64, err error) {
+	return p.selectPlan(cands, envs, encoding.EnvKey{}, workers)
+}
+
+// SelectPlanKeyed is SelectPlan for a keyed environment source: key must
+// identify envs (see EnvKeyFor), which makes candidate embeddings eligible
+// for the plan cache. An unkeyed (zero) key degrades to uncached scoring.
+func (p *Predictor) SelectPlanKeyed(cands []*plan.Plan, envs encoding.EnvSource, key encoding.EnvKey) (best *plan.Plan, costs []float64, err error) {
+	return p.selectPlan(cands, envs, key, 0)
+}
+
+func (p *Predictor) selectPlan(cands []*plan.Plan, envs encoding.EnvSource, key encoding.EnvKey, workers int) (best *plan.Plan, costs []float64, err error) {
 	p.tel.selectCalls.Inc()
 	if len(cands) == 0 {
 		p.tel.selectEmpty.Inc()
@@ -495,6 +531,10 @@ func (p *Predictor) SelectPlanParallel(cands []*plan.Plan, envs encoding.EnvSour
 	p.tel.selectCandidates.Observe(float64(len(cands)))
 	span := p.tel.selectTime.Start()
 	defer span.Stop()
+	if !p.cfg.UseEnv {
+		envs = encoding.NoEnv()
+		key = encoding.NoEnvKey()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -502,43 +542,66 @@ func (p *Predictor) SelectPlanParallel(cands []*plan.Plan, envs encoding.EnvSour
 		workers = len(cands)
 	}
 	costs = make([]float64, len(cands))
-	if workers == 1 || len(cands) < parallelCandidateThreshold {
-		for i, c := range cands {
-			costs[i] = p.PredictCost(c, envs)
-		}
+	if p.cfg.Kind == KindXGBoost {
+		p.scoreXGB(costs, cands, envs, workers)
 	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					costs[i] = p.PredictCost(cands[i], envs)
-				}
-			}()
-		}
-		for i := range cands {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		p.scoreBatched(costs, cands, envs, key, workers)
 	}
-	bestIdx := -1
 	nans := int64(0)
 	for i := range costs {
 		if math.IsNaN(costs[i]) {
 			nans++
-			continue
-		}
-		if bestIdx < 0 || costs[i] < costs[bestIdx] {
-			bestIdx = i
 		}
 	}
 	p.tel.selectNaN.Add(nans)
+	bestIdx := floatsafe.ArgMin(costs)
 	if bestIdx < 0 {
 		p.tel.selectNoFinite.Inc()
 		return nil, costs, ErrNoFiniteEstimate
 	}
 	return cands[bestIdx], costs, nil
+}
+
+// EnvKeyFor returns the cache key identifying EnvSourceFor(s, ...) with the
+// same arguments. The two must stay in lockstep: a key that does not match
+// its source would poison the plan cache with mismatched embeddings.
+func (p *Predictor) EnvKeyFor(s Strategy, clusterExpected, clusterCurrent [4]float64) encoding.EnvKey {
+	switch s {
+	case StrategyClusterExpected:
+		return encoding.FixedEnvKey(clusterExpected)
+	case StrategyClusterCurrent:
+		return encoding.FixedEnvKey(clusterCurrent)
+	case StrategyNoEnv:
+		return encoding.NoEnvKey()
+	default:
+		return encoding.FixedEnvKey(p.trainMeanEnv)
+	}
+}
+
+// EnablePlanCache installs a fresh plan-embedding cache holding up to
+// capacity entries (capacity <= 0 disables caching). Any previous cache is
+// discarded wholesale, so calling this after retraining or on deployment is
+// the cache-invalidation mechanism. Not safe to call concurrently with
+// serving.
+func (p *Predictor) EnablePlanCache(capacity int) {
+	if capacity <= 0 {
+		p.cache = nil
+		return
+	}
+	p.cache = newPlanCache(capacity, &p.tel)
+}
+
+// FlushPlanCache empties the plan cache, if one is enabled.
+func (p *Predictor) FlushPlanCache() {
+	if p.cache != nil {
+		p.cache.flush()
+	}
+}
+
+// PlanCacheLen reports the number of cached embeddings (0 when disabled).
+func (p *Predictor) PlanCacheLen() int {
+	if p.cache == nil {
+		return 0
+	}
+	return p.cache.len()
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package predictor
+
+// raceEnabled reports that this binary was built with -race. The race
+// detector makes sync.Pool drop items on purpose (to widen the race window),
+// so allocation-count assertions on pooled paths are meaningless under it.
+const raceEnabled = true

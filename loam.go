@@ -339,6 +339,9 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 	if err != nil {
 		return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
 	}
+	// A fresh cache per deployment is the invalidation rule: embeddings can
+	// never outlive the weights that produced them.
+	pred.EnablePlanCache(o.planCache)
 	d := &Deployment{
 		ProjectSim: ps,
 		Predictor:  pred,
@@ -437,13 +440,14 @@ func (d *Deployment) OptimizeCtx(ctx context.Context, q *query.Query) (*Choice, 
 		d.obs.optimizeCancels.Inc()
 		return nil, err
 	}
-	envs := d.envSource()
+	envs, envKey := d.envSource()
 	res, err := d.grd.Serve(ctx, guard.Request{
-		ID:    q.ID,
-		Day:   q.Day,
-		Query: q,
-		Cands: cands,
-		Envs:  envs,
+		ID:     q.ID,
+		Day:    q.Day,
+		Query:  q,
+		Cands:  cands,
+		Envs:   envs,
+		EnvKey: envKey,
 	})
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
@@ -540,14 +544,14 @@ func fillUnstarted(errs []error, from int, err error) {
 }
 
 // envSource resolves the deployment's inference strategy against the live
-// cluster (§5).
-func (d *Deployment) envSource() encoding.EnvSource {
+// cluster (§5), returning both the environment source and its cache key so
+// keyed scoring can reuse cached plan embeddings. The two are derived from
+// the same cluster readings, keeping key and source in lockstep.
+func (d *Deployment) envSource() (encoding.EnvSource, encoding.EnvKey) {
 	cl := d.ProjectSim.Executor.Cluster
-	return d.Predictor.EnvSourceFor(
-		d.Strategy,
-		cl.HistoryAverage().Normalized(),
-		cl.ClusterAverage().Normalized(),
-	)
+	ce := cl.HistoryAverage().Normalized()
+	cb := cl.ClusterAverage().Normalized()
+	return d.Predictor.EnvSourceFor(d.Strategy, ce, cb), d.Predictor.EnvKeyFor(d.Strategy, ce, cb)
 }
 
 // ExecuteChoice runs the chosen plan, logs it, and returns the record.
@@ -584,6 +588,7 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 	}
 	o := resolveDeployOptions(opts)
 	pred.Instrument(o.metrics)
+	pred.EnablePlanCache(o.planCache)
 	train, test := ps.Repo.Split(trainDays, testDays, 0)
 	d := &Deployment{
 		ProjectSim: ps,

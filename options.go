@@ -13,22 +13,31 @@ import (
 // through WithStrategy (at deploy time) or SetStrategy (afterwards).
 type DeployOption func(*deployOptions)
 
+// DefaultPlanCacheCapacity is the plan-embedding cache size deployments get
+// unless WithPlanCache overrides it: comfortably larger than a day's distinct
+// (plan, environment) pairs at simulator scale, small enough that even
+// embedding-heavy models stay within a few MB.
+const DefaultPlanCacheCapacity = 4096
+
 // deployOptions is the resolved option set.
 type deployOptions struct {
-	strategy predictor.Strategy
-	metrics  *telemetry.Registry
-	guardCfg guard.Config
-	injector *faultinject.Injector
+	strategy  predictor.Strategy
+	metrics   *telemetry.Registry
+	guardCfg  guard.Config
+	injector  *faultinject.Injector
+	planCache int
 }
 
 // resolveDeployOptions applies opts over the defaults: the paper's MeanEnv
 // inference strategy (§5), a fresh private metrics registry, the default
-// guard configuration and no fault injector.
+// guard configuration, the default plan-embedding cache and no fault
+// injector.
 func resolveDeployOptions(opts []DeployOption) deployOptions {
 	o := deployOptions{
-		strategy: predictor.StrategyMeanEnv,
-		metrics:  telemetry.NewRegistry(),
-		guardCfg: guard.DefaultConfig(),
+		strategy:  predictor.StrategyMeanEnv,
+		metrics:   telemetry.NewRegistry(),
+		guardCfg:  guard.DefaultConfig(),
+		planCache: DefaultPlanCacheCapacity,
 	}
 	for _, opt := range opts {
 		if opt != nil {
@@ -63,6 +72,18 @@ func WithMetrics(reg *telemetry.Registry) DeployOption {
 // learned-path watchdog entirely.
 func WithGuardConfig(cfg GuardConfig) DeployOption {
 	return func(o *deployOptions) { o.guardCfg = cfg }
+}
+
+// WithPlanCache sizes the deployment's plan-embedding cache (default
+// DefaultPlanCacheCapacity). The cache memoizes backbone embeddings keyed by
+// the plan's structural fingerprint and the inference environment's identity;
+// recurring queries then skip the encoder and backbone forward entirely, and
+// only re-score the cached embedding through the cost head. Cached scoring is
+// bit-identical to uncached scoring. capacity <= 0 disables caching. Each
+// Deploy/DeployFromModel installs a fresh cache, so a retrained or reloaded
+// model never sees embeddings from older weights.
+func WithPlanCache(capacity int) DeployOption {
+	return func(o *deployOptions) { o.planCache = capacity }
 }
 
 // WithFaultInjector arms the deployment with a deterministic fault injector
