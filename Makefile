@@ -39,10 +39,12 @@ lint-fix-hints:
 	$(GO) run ./cmd/loam-vet -hints ./...
 
 # chaos re-runs the resilience suite — fault injection, circuit-breaker
-# transitions, quarantine, forced outages — under the race detector. It
-# overlaps `race` on purpose: a focused, fast loop for iterating on the
-# guarded serving layer (see DESIGN.md "Degraded-mode serving contract").
+# transitions, quarantine, forced outages, and the model-lifecycle fault
+# scenario (a retrain failing mid-promote must leave the incumbent serving)
+# — under the race detector. It overlaps `race` on purpose: a focused, fast
+# loop for iterating on the guarded serving layer (see DESIGN.md
+# "Degraded-mode serving contract" and "Model lifecycle contract").
 chaos:
-	$(GO) test -race -count=1 -run 'Guard|Breaker|Quarantine|Fault|Outage|Inject' ./...
+	$(GO) test -race -count=1 -run 'Guard|Breaker|Quarantine|Fault|Outage|Inject|Lifecycle|SwapScorer' ./...
 
 verify: build lint test race chaos

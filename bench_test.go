@@ -253,10 +253,10 @@ func BenchmarkPredictorInference(b *testing.B) {
 	}
 	q := ps.Gen.Templates[0].Instantiate(ps.Rng("bench"), 3)
 	cands := ps.Explorer(3).Candidates(q)
-	envs := dep.Predictor.EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
+	envs := dep.Predictor().EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _, _ = dep.Predictor.SelectPlan(cands, envs)
+		_, _, _ = dep.Predictor().SelectPlan(cands, envs)
 	}
 }
 
@@ -335,7 +335,7 @@ func BenchmarkSelectPlanParallel(b *testing.B) {
 	dep, qs := getServeBench(b)
 	ps := dep.ProjectSim
 	cands := ps.Explorer(4).Candidates(qs[0])
-	envs := dep.Predictor.EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
+	envs := dep.Predictor().EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
 	for _, workers := range []int{1, 0} {
 		name := "sequential"
 		if workers == 0 {
@@ -343,7 +343,7 @@ func BenchmarkSelectPlanParallel(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := dep.Predictor.SelectPlanParallel(cands, envs, workers); err != nil {
+				if _, _, err := dep.Predictor().SelectPlanParallel(cands, envs, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3|serve|guard|perf]
+//	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3|serve|guard|lifecycle|perf]
 //	           [-seed N] [-scale F] [-epochs N] [-eval N] [-tiny] [-quiet] [-metrics]
 //	           [-benchout FILE]
 //
@@ -34,7 +34,7 @@ func main() {
 func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("loam-bench", flag.ContinueOnError)
 	var (
-		runSpec = fs.String("run", "all", "comma-separated experiment ids (all, fig1, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig15, fig16, sec73, thm1, ext1, ext2, ext3, serve, guard, perf)")
+		runSpec = fs.String("run", "all", "comma-separated experiment ids (all, fig1, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig15, fig16, sec73, thm1, ext1, ext2, ext3, serve, guard, lifecycle, perf)")
 		seed    = fs.Uint64("seed", 42, "root seed for the whole simulation")
 		scale   = fs.Float64("scale", 1, "workload scale multiplier (5 ≈ paper scale)")
 		epochs  = fs.Int("epochs", 0, "override training epochs (0 = default)")
@@ -191,6 +191,14 @@ func run(args []string, out, errw io.Writer) error {
 	if has("guard") {
 		section("guard")
 		r, err := env.Guard()
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	}
+	if has("lifecycle") {
+		section("lifecycle")
+		r, err := env.Lifecycle()
 		if err != nil {
 			return err
 		}

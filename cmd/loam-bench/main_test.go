@@ -179,3 +179,62 @@ func TestRunUnknownExperimentIsNoop(t *testing.T) {
 		t.Fatal("unknown experiment produced sections")
 	}
 }
+
+// TestRunLifecycleMetricsDeterministic is the acceptance check for the model
+// lifecycle experiment: `-run lifecycle` drives drift → retrain →
+// shadow-score → hot-swap → sentinel-tripped rollback with 100% availability
+// throughout, the lifecycle.* counters render in the stable-ordered metrics
+// dump, and two identically-seeded runs print byte-identical lifecycle and
+// metrics sections.
+func TestRunLifecycleMetricsDeterministic(t *testing.T) {
+	bench := func() string {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-tiny", "-quiet", "-run", "lifecycle", "-metrics"}, &out, &errw); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+		}
+		return out.String()
+	}
+	first := bench()
+	for _, want := range []string{
+		"==== lifecycle ====",
+		"availability 100%",
+		"promote  -> v2",
+		"rollback -> v1",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("lifecycle section missing %q:\n%s", want, first)
+		}
+	}
+	sec := metricsSection(t, first)
+	for _, want := range []string{
+		"counter lifecycle.feedback.harvested 60",
+		"counter lifecycle.drift.signals",
+		"counter lifecycle.retrain.runs",
+		"counter lifecycle.promote",
+		"counter lifecycle.rollback",
+		"counter guard.quarantine.trips",
+		"counter guard.quarantine.released",
+		"gauge model.version",
+		"gauge lifecycle.feedback.size",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Fatalf("metrics section missing %q:\n%s", want, sec)
+		}
+	}
+	second := bench()
+	lifecycleSection := func(s string) string {
+		_, rest, ok := strings.Cut(s, "==== lifecycle ====")
+		if !ok {
+			t.Fatalf("no lifecycle section:\n%s", s)
+		}
+		body, _, _ := strings.Cut(rest, "====")
+		return body
+	}
+	if lifecycleSection(second) != lifecycleSection(first) {
+		t.Fatalf("same-seed lifecycle sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			lifecycleSection(first), lifecycleSection(second))
+	}
+	if again := metricsSection(t, second); again != sec {
+		t.Fatalf("same-seed metrics sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sec, again)
+	}
+}

@@ -63,7 +63,7 @@ func run(args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	met := dep.Predictor.Metrics()
+	met := dep.Predictor().Metrics()
 	fmt.Fprintf(out, "deployed LOAM: %d training plans, %.1fs training, %.1f MB model\n",
 		dep.TrainSize, met.TrainSeconds, float64(met.ModelBytes)/1e6)
 

@@ -32,8 +32,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained on %d plans in %.1fs (%.1f MB)\n",
-		dep.TrainSize, dep.Predictor.Metrics().TrainSeconds,
-		float64(dep.Predictor.Metrics().ModelBytes)/1e6)
+		dep.TrainSize, dep.Predictor().Metrics().TrainSeconds,
+		float64(dep.Predictor().Metrics().ModelBytes)/1e6)
 
 	// Steer one fresh query: explore candidates, predict costs under the
 	// average-case environment, execute the cheapest.

@@ -20,7 +20,7 @@ func TestOptimizeBatchParallelCacheIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := dep.Predictor.PlanCacheLen(); n == 0 {
+	if n := dep.Predictor().PlanCacheLen(); n == 0 {
 		t.Fatal("default deployment served without populating the plan cache")
 	}
 	par, err := dep.OptimizeBatch(context.Background(), qs, 4)
@@ -70,7 +70,7 @@ func TestPlanCacheInvalidatedOnRedeploy(t *testing.T) {
 		}
 		first[i] = c
 	}
-	if dep.Predictor.PlanCacheLen() == 0 {
+	if dep.Predictor().PlanCacheLen() == 0 {
 		t.Fatal("cache not warmed")
 	}
 
@@ -82,7 +82,7 @@ func TestPlanCacheInvalidatedOnRedeploy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := restored.Predictor.PlanCacheLen(); n != 0 {
+	if n := restored.Predictor().PlanCacheLen(); n != 0 {
 		t.Fatalf("restored deployment inherited %d cached embeddings", n)
 	}
 	for i, q := range qs {
@@ -100,7 +100,7 @@ func TestPlanCacheInvalidatedOnRedeploy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := uncached.Predictor.PlanCacheLen(); n != 0 {
+	if n := uncached.Predictor().PlanCacheLen(); n != 0 {
 		t.Fatalf("WithPlanCache(0) deployment holds %d entries", n)
 	}
 	for _, q := range qs {
@@ -108,7 +108,7 @@ func TestPlanCacheInvalidatedOnRedeploy(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := uncached.Predictor.PlanCacheLen(); n != 0 {
+	if n := uncached.Predictor().PlanCacheLen(); n != 0 {
 		t.Fatalf("disabled cache accumulated %d entries", n)
 	}
 }

@@ -62,17 +62,25 @@ func (s *Simulation) DeployAll(cfg DeployConfig, parallelism int, opts ...Deploy
 // trained selector.Ranker); projects absent from scores rank last.
 func (s *Simulation) SelectAndDeploy(cfg DeployConfig, pass func(*ProjectSim) bool, scores map[string]float64, topN int, parallelism int, opts ...DeployOption) []FleetResult {
 	type scored struct {
-		ps    *ProjectSim
-		score float64
+		ps      *ProjectSim
+		score   float64
+		present bool
 	}
 	var survivors []scored
 	for _, ps := range s.Projects {
 		if pass != nil && !pass(ps) {
 			continue
 		}
-		survivors = append(survivors, scored{ps: ps, score: scores[ps.Config.Name]})
+		// Track map presence explicitly: the zero value would otherwise let
+		// an unscored project tie at 0.0 and outrank a negatively-scored
+		// survivor, instead of ranking last as documented.
+		sc, ok := scores[ps.Config.Name]
+		survivors = append(survivors, scored{ps: ps, score: sc, present: ok})
 	}
 	sort.Slice(survivors, func(i, j int) bool {
+		if survivors[i].present != survivors[j].present {
+			return survivors[i].present
+		}
 		if survivors[i].score != survivors[j].score {
 			return survivors[i].score > survivors[j].score
 		}

@@ -106,6 +106,40 @@ func TestSelectAndDeployTopN(t *testing.T) {
 	}
 }
 
+// TestSelectAndDeployAbsentRanksLast pins the documented ordering for
+// projects missing from the scores map: they rank below every scored
+// survivor — including negatively-scored ones, which the scores-map zero
+// value used to let them outrank.
+func TestSelectAndDeployAbsentRanksLast(t *testing.T) {
+	sim := fleetSim(t)
+	pass := func(ps *ProjectSim) bool { return ps.Repo.Len() > 0 }
+	// fb is unscored; fa and fc carry negative improvement estimates. The
+	// top-2 must be the scored projects (best first), not the unscored one
+	// tying at 0.0.
+	scores := map[string]float64{"fa": -0.2, "fc": -0.7}
+	results := sim.SelectAndDeploy(fleetDeployConfig(), pass, scores, 2, 1)
+	if len(results) != 2 {
+		t.Fatalf("deployed %d", len(results))
+	}
+	if results[0].Project != "fa" || results[1].Project != "fc" {
+		t.Fatalf("negatively-scored survivors outranked by an unscored project: %v, %v",
+			results[0].Project, results[1].Project)
+	}
+	// With room for everyone, the unscored project still comes last.
+	results = sim.SelectAndDeploy(fleetDeployConfig(), pass, scores, 3, 1)
+	if len(results) != 3 || results[2].Project != "fb" {
+		t.Fatalf("unscored project should rank last, got %+v", resultNames(results))
+	}
+}
+
+func resultNames(rs []FleetResult) []string {
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.Project
+	}
+	return names
+}
+
 func TestSelectAndDeployFilterExcludes(t *testing.T) {
 	sim := fleetSim(t)
 	// A real App.-D.1 filter over the histories.

@@ -629,3 +629,46 @@ func TestFindingStringAndSort(t *testing.T) {
 		t.Errorf("SortFindings order wrong: %v", fs)
 	}
 }
+
+func TestGuardDisciplineSwapScorerSeam(t *testing.T) {
+	guardSrc := `package guard
+type Guard struct{}
+type Scorer interface{}
+func (g *Guard) SwapScorer(s Scorer) {}
+`
+	t.Run("SwapScorer outside lifecycle.go is flagged", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/guard/guard.go": guardSrc,
+			"serve.go": `package root
+import "fixture/internal/guard"
+func hotfix(g *guard.Guard) { g.SwapScorer(nil) }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), [][2]string{
+			{"guarddiscipline", "g.SwapScorer outside the lifecycle seam"},
+		})
+	})
+	t.Run("the lifecycle seam may swap", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/guard/guard.go": guardSrc,
+			"lifecycle.go": `package root
+import "fixture/internal/guard"
+func promote(g *guard.Guard) { g.SwapScorer(nil) }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), nil)
+	})
+	t.Run("the guard package and test files are exempt", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/guard/guard.go": guardSrc,
+			"internal/guard/inner.go": `package guard
+func (g *Guard) reset() { g.SwapScorer(nil) }
+`,
+			"swap_test.go": `package root
+import "fixture/internal/guard"
+func probe(g *guard.Guard) { g.SwapScorer(nil) }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), nil)
+	})
+}

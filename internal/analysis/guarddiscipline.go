@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"path"
 	"strings"
 )
 
@@ -15,6 +16,12 @@ import (
 // deadline watchdog, circuit breaker and regression sentinel cannot be
 // bypassed by a new call site. Test files are exempt (eachSourceFile skips
 // them): tests and benchmarks probe the raw model on purpose.
+//
+// The same analyzer polices the model lifecycle seam: Guard.SwapScorer
+// replaces the serving model mid-flight, and calling it anywhere but the
+// lifecycle manager (a file named lifecycle.go) desynchronizes the guard's
+// scorer from the deployment's predictor pointer — the swap must pair both
+// writes, reset the sentinel, and account the quarantine release.
 func GuardDiscipline() *Analyzer {
 	return &Analyzer{
 		Name: "guarddiscipline",
@@ -45,16 +52,27 @@ func runGuardDiscipline(prog *Program) []Finding {
 				return true
 			}
 			name := sel.Sel.Name
-			if name != "SelectPlan" && name != "SelectPlanParallel" && name != "SelectPlanKeyed" {
-				return true
+			switch name {
+			case "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed":
+				out = append(out, Finding{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: "guarddiscipline",
+					Message: fmt.Sprintf("%s.%s bypasses the serving guard: deadline, circuit breaker and quarantine do not apply here",
+						exprString(sel.X), name),
+					Suggestion: "route through guard.Guard — Serve for guarded serving, ScoreLearned where raw model errors must surface",
+				})
+			case "SwapScorer":
+				if path.Base(f.Path) == "lifecycle.go" {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: "guarddiscipline",
+					Message: fmt.Sprintf("%s.SwapScorer outside the lifecycle seam: the guard scorer and the deployment's predictor pointer must swap together",
+						exprString(sel.X)),
+					Suggestion: "swap models through the lifecycle manager (lifecycle.go promote/rollback), which pairs the predictor store with the scorer swap",
+				})
 			}
-			out = append(out, Finding{
-				Pos:  prog.Fset.Position(call.Pos()),
-				Rule: "guarddiscipline",
-				Message: fmt.Sprintf("%s.%s bypasses the serving guard: deadline, circuit breaker and quarantine do not apply here",
-					exprString(sel.X), name),
-				Suggestion: "route through guard.Guard — Serve for guarded serving, ScoreLearned where raw model errors must surface",
-			})
 			return true
 		})
 	})

@@ -39,7 +39,7 @@ func TestCalibration(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pick := pickWith(dep.Predictor, predictor.StrategyMeanEnv,
+			pick := pickWith(dep.Predictor(), predictor.StrategyMeanEnv,
 				cl.HistoryAverage().Normalized(), cl.ClusterAverage().Normalized())
 			m := evalMethod(pe, v.Label(), pick)
 			// Selection quality: how often the pick is the empirical best /

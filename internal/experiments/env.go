@@ -234,7 +234,7 @@ func (e *Env) Deployment(project string, v Variant) (*loam.Deployment, error) {
 		return nil, fmt.Errorf("train %s: %w", key, err)
 	}
 	e.Cfg.logf("trained %s: train=%d %.1fs %.1fMB", key, dep.TrainSize,
-		sw.Seconds(), float64(dep.Predictor.Metrics().ModelBytes)/1e6)
+		sw.Seconds(), float64(dep.Predictor().Metrics().ModelBytes)/1e6)
 	e.deployments[key] = dep
 	return dep, nil
 }

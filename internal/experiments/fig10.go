@@ -57,10 +57,10 @@ func (e *Env) Fig10(f6 *Fig6Result) (*Fig10Result, error) {
 		} {
 			strategy := s
 			pick := func(q *EvalQuery) int {
-				envs := dep.Predictor.EnvSourceFor(strategy, q.ClusterExpected, q.ClusterCurrent)
+				envs := dep.Predictor().EnvSourceFor(strategy, q.ClusterExpected, q.ClusterCurrent)
 				costs := make([]float64, len(q.Cands))
 				for i, c := range q.Cands {
-					costs[i] = dep.Predictor.PredictCost(c, envs)
+					costs[i] = dep.Predictor().PredictCost(c, envs)
 				}
 				if best := floatsafe.ArgMin(costs); best >= 0 {
 					return best
@@ -77,7 +77,7 @@ func (e *Env) Fig10(f6 *Fig6Result) (*Fig10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pick := pickWith(nl.Predictor, predictor.StrategyNoEnv, [4]float64{}, [4]float64{})
+		pick := pickWith(nl.Predictor(), predictor.StrategyNoEnv, [4]float64{}, [4]float64{})
 		m := evalMethod(pe, "LOAM-NL", pick)
 		fp.Cost["LOAM-NL"] = m.AvgCost
 		fp.RelDev["LOAM-NL"] = m.RelDeviance

@@ -142,11 +142,11 @@ func (e *Env) evalProject(name string, variants []Variant) (ProjectResult, error
 		if err != nil {
 			return pr, err
 		}
-		pick := pickWith(dep.Predictor, predictor.StrategyMeanEnv,
+		pick := pickWith(dep.Predictor(), predictor.StrategyMeanEnv,
 			cl.HistoryAverage().Normalized(), cl.ClusterAverage().Normalized())
 		m := evalMethod(pe, v.Label(), pick)
-		m.TrainSeconds = dep.Predictor.Metrics().TrainSeconds
-		m.ModelBytes = dep.Predictor.Metrics().ModelBytes
+		m.TrainSeconds = dep.Predictor().Metrics().TrainSeconds
+		m.ModelBytes = dep.Predictor().Metrics().ModelBytes
 		pr.Methods = append(pr.Methods, m)
 	}
 	return pr, nil
@@ -364,7 +364,7 @@ func (e *Env) Fig11(f6 *Fig6Result) (*Fig11Result, error) {
 			return nil, err
 		}
 		cl := e.Sim.Cluster
-		pick := pickWith(dep.Predictor, predictor.StrategyMeanEnv,
+		pick := pickWith(dep.Predictor(), predictor.StrategyMeanEnv,
 			cl.HistoryAverage().Normalized(), cl.ClusterAverage().Normalized())
 		m := evalMethod(e.Eval(name), "LOAM-NA", pick)
 		res.NoAdapt[name] = m.AvgCost

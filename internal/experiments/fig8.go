@@ -61,7 +61,7 @@ func (e *Env) Fig8(f6 *Fig6Result) (*Fig8Result, error) {
 				if derr != nil {
 					err = derr
 				} else {
-					pick := pickWith(dep.Predictor, predictor.StrategyMeanEnv,
+					pick := pickWith(dep.Predictor(), predictor.StrategyMeanEnv,
 						cl.HistoryAverage().Normalized(), cl.ClusterAverage().Normalized())
 					m = evalMethod(pe, "LOAM", pick)
 				}

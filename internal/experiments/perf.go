@@ -95,15 +95,15 @@ func (e *Env) Perf() (*PerfResult, error) {
 	// The deployment's default strategy is MeanEnv, whose source and key are
 	// environment-reading-independent, so one resolved pair serves the whole
 	// benchmark and every round sees identical inputs.
-	envs := dep.Predictor.EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
-	key := dep.Predictor.EnvKeyFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
+	envs := dep.Predictor().EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
+	key := dep.Predictor().EnvKeyFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
 
 	res := &PerfResult{Project: project, Queries: len(qs)}
 
 	// 1. PredictCost microbenchmark on one recurring plan.
 	const fwdIters = 1000
 	pl := cands[0][0]
-	ns, allocs := perfMeasure(fwdIters, func() { dep.Predictor.PredictCost(pl, envs) })
+	ns, allocs := perfMeasure(fwdIters, func() { dep.Predictor().PredictCost(pl, envs) })
 	res.PredictCost = PerfForward{Iters: fwdIters, NsPerOp: ns, AllocsPerOp: allocs}
 	e.Cfg.logf("perf %s: PredictCost %.0f ns/op, %.1f allocs/op", project, ns, allocs)
 

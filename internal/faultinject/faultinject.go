@@ -51,6 +51,10 @@ type Config struct {
 	// before a query is served — the multi-tenant noisy-neighbor scenario.
 	LoadSpikeRate   float64
 	LoadSpikeAmount float64
+	// RetrainFailRate makes a lifecycle retrain attempt fail before training
+	// starts — the mid-promote crash scenario. The incumbent model must keep
+	// serving (or keep its quarantine fallback) when this fires.
+	RetrainFailRate float64
 }
 
 // Injector decides, per query, which faults to force. The zero of *Injector
@@ -128,6 +132,13 @@ func (i *Injector) Delay(id string) bool {
 // NativeFail reports whether the native fallback rung fails for this query.
 func (i *Injector) NativeFail(id string) bool {
 	return i.roll("native", id, i.Config().NativeFailRate)
+}
+
+// RetrainFail reports whether to abort a lifecycle retrain attempt. The id
+// is the candidate model's version label, so the decision is a pure function
+// of (seed, attempt) — independent of when during serving the retrain fires.
+func (i *Injector) RetrainFail(id string) bool {
+	return i.roll("retrain", id, i.Config().RetrainFailRate)
 }
 
 // LoadSpike decides a load spike for this query and, when a cluster is

@@ -1,0 +1,229 @@
+// Package feedback is the online feedback store of the model lifecycle: a
+// bounded, deterministic ring of executed-query observations — the (plan,
+// environment, actual cost) triples the paper's deployment story retrains
+// LOAM from (§6–§7), and the same loop Bao and Microsoft's QO-Advisor make
+// the central production mechanism.
+//
+// The store is fed from the execution path (Deployment.ExecuteChoice):
+// every executed choice contributes its plan, the execution record carrying
+// the realized per-stage environments and CPU cost, and — for learned-origin
+// choices — the model's serving-time estimate. The bound is a hard capacity:
+// the newest Capacity entries win, the oldest are dropped, and the retained
+// window is a pure function of the append sequence, so same-seed runs
+// retrain from byte-identical training sets.
+//
+// The package also carries the drift detector: a windowed monitor of
+// prediction-vs-actual divergence that turns "the model has gone stale" into
+// a deterministic retrain trigger. It complements the serving guard's
+// regression sentinel (internal/guard), which watches learned choices
+// against the native optimizer's judgment; both signals feed the lifecycle
+// manager's retrain → shadow-score → promote loop.
+package feedback
+
+import (
+	"math"
+	"sync"
+
+	"loam/internal/exec"
+	"loam/internal/query"
+)
+
+// Entry is one executed-query observation.
+type Entry struct {
+	// Query is the logical query whose chosen plan was executed; the
+	// lifecycle's retrain path re-explores it for domain-alignment plans.
+	Query *query.Query
+	// Record is the execution record: the executed plan, the realized
+	// per-stage environments (Record.NodeEnv) and the actual CPU cost —
+	// exactly the sample shape the predictor trains from.
+	Record *exec.Record
+	// Predicted is the model's serving-time cost estimate for the executed
+	// plan. NaN when the plan was served from a fallback rung (no learned
+	// estimate exists); drift detection skips such entries.
+	Predicted float64
+}
+
+// DefaultCapacity bounds the store when the lifecycle config leaves it zero:
+// large enough to hold several retrain windows at simulator scale, small
+// enough that the store's footprint stays trivial.
+const DefaultCapacity = 1024
+
+// Store is the bounded feedback ring. It is safe for concurrent use:
+// appends from executing queries and snapshots from the lifecycle manager
+// serialize on an internal mutex.
+type Store struct {
+	mu    sync.Mutex
+	buf   []Entry
+	next  int
+	size  int
+	total int64
+}
+
+// NewStore returns a store bounded at capacity entries (<= 0 uses
+// DefaultCapacity).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{buf: make([]Entry, capacity)}
+}
+
+// Capacity returns the store's bound.
+func (s *Store) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Add appends one observation, evicting the oldest entry once the store is
+// full.
+func (s *Store) Add(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf[s.next] = e
+	s.next = (s.next + 1) % len(s.buf)
+	if s.size < len(s.buf) {
+		s.size++
+	}
+	s.total++
+}
+
+// Len returns the number of retained entries (≤ Capacity).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Total returns the number of entries ever appended, including evicted ones.
+func (s *Store) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Snapshot returns the retained entries oldest-first, as a private copy the
+// caller may hold across later appends.
+func (s *Store) Snapshot() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.copyRecent(s.size)
+}
+
+// Recent returns the newest n entries oldest-first (all of them when n
+// exceeds Len), as a private copy.
+func (s *Store) Recent(n int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.size {
+		n = s.size
+	}
+	return s.copyRecent(n)
+}
+
+// copyRecent copies the newest n retained entries in chronological order;
+// callers hold the lock.
+func (s *Store) copyRecent(n int) []Entry {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Entry, n)
+	start := (s.next - n + len(s.buf)) % len(s.buf)
+	for i := 0; i < n; i++ {
+		out[i] = s.buf[(start+i)%len(s.buf)]
+	}
+	return out
+}
+
+// DriftConfig tunes the prediction-vs-actual drift detector. The zero value
+// is normalized by NewDetector to DefaultDriftConfig field-by-field.
+type DriftConfig struct {
+	// Window is how many learned-origin observations form one drift window.
+	Window int
+	// Threshold is the mean |ln(predicted/actual)| above which a window
+	// counts as drifted. ln-space keeps the measure scale-free: 0.7 ≈ the
+	// model being off by 2x on average.
+	Threshold float64
+	// Windows is how many consecutive drifted windows raise the drift
+	// signal.
+	Windows int
+}
+
+// DefaultDriftConfig returns serving-scale drift settings.
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{Window: 16, Threshold: 0.7, Windows: 2}
+}
+
+// normalize fills zero fields from the defaults.
+func (c DriftConfig) normalize() DriftConfig {
+	d := DefaultDriftConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = d.Threshold
+	}
+	if c.Windows <= 0 {
+		c.Windows = d.Windows
+	}
+	return c
+}
+
+// Detector accumulates prediction-vs-actual divergence into fixed windows
+// and raises a signal after Windows consecutive drifted ones — the same
+// window/run shape as the guard's regression sentinel, measured against
+// ground truth instead of the native optimizer's opinion. It is not
+// goroutine-safe on its own; the lifecycle manager serializes access.
+type Detector struct {
+	cfg DriftConfig
+
+	n      int
+	sumErr float64
+	run    int
+}
+
+// NewDetector builds a detector (config normalized via DefaultDriftConfig).
+func NewDetector(cfg DriftConfig) *Detector {
+	return &Detector{cfg: cfg.normalize()}
+}
+
+// Config returns the detector's normalized configuration.
+func (d *Detector) Config() DriftConfig { return d.cfg }
+
+// Observe records one (predicted, actual) pair and reports whether the
+// drift signal fires on this observation. Non-finite or non-positive inputs
+// are skipped — a fallback-served query says nothing about the model's
+// calibration. The signal resets the consecutive-window run, so a
+// persistent drift re-fires only after Windows further drifted windows.
+func (d *Detector) Observe(predicted, actual float64) bool {
+	if math.IsNaN(predicted) || math.IsInf(predicted, 0) || predicted <= 0 {
+		return false
+	}
+	if math.IsNaN(actual) || math.IsInf(actual, 0) || actual <= 0 {
+		return false
+	}
+	d.n++
+	d.sumErr += math.Abs(math.Log(predicted) - math.Log(actual))
+	if d.n < d.cfg.Window {
+		return false
+	}
+	mean := d.sumErr / float64(d.n)
+	d.n, d.sumErr = 0, 0
+	if mean > d.cfg.Threshold {
+		d.run++
+	} else {
+		d.run = 0
+	}
+	if d.run >= d.cfg.Windows {
+		d.run = 0
+		return true
+	}
+	return false
+}
+
+// Reset clears all accumulated state — called when the model under watch
+// changes (promote or rollback), so a fresh model starts with a clean
+// divergence history.
+func (d *Detector) Reset() {
+	d.n, d.sumErr, d.run = 0, 0, 0
+}

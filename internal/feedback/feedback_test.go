@@ -1,0 +1,162 @@
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"loam/internal/exec"
+)
+
+func entry(i int) Entry {
+	return Entry{
+		Record:    &exec.Record{QueryID: fmt.Sprintf("q%03d", i), CPUCost: float64(i)},
+		Predicted: float64(i),
+	}
+}
+
+func ids(entries []Entry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Record.QueryID
+	}
+	return out
+}
+
+func TestStoreBoundedEviction(t *testing.T) {
+	s := NewStore(4)
+	if s.Capacity() != 4 {
+		t.Fatalf("capacity %d", s.Capacity())
+	}
+	for i := 0; i < 6; i++ {
+		s.Add(entry(i))
+	}
+	if s.Len() != 4 || s.Total() != 6 {
+		t.Fatalf("len=%d total=%d", s.Len(), s.Total())
+	}
+	got := ids(s.Snapshot())
+	want := []string{"q002", "q003", "q004", "q005"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot %v, want %v", got, want)
+		}
+	}
+	recent := ids(s.Recent(2))
+	if recent[0] != "q004" || recent[1] != "q005" {
+		t.Fatalf("recent %v", recent)
+	}
+	if len(s.Recent(100)) != 4 {
+		t.Fatalf("recent overshoot should clamp")
+	}
+}
+
+func TestStoreSnapshotIsPrivateCopy(t *testing.T) {
+	s := NewStore(3)
+	s.Add(entry(0))
+	snap := s.Snapshot()
+	s.Add(entry(1))
+	s.Add(entry(2))
+	s.Add(entry(3)) // evicts q000
+	if snap[0].Record.QueryID != "q000" {
+		t.Fatal("snapshot mutated by later appends")
+	}
+}
+
+func TestStoreDefaultCapacity(t *testing.T) {
+	if got := NewStore(0).Capacity(); got != DefaultCapacity {
+		t.Fatalf("default capacity %d", got)
+	}
+}
+
+func TestStoreConcurrentAppends(t *testing.T) {
+	s := NewStore(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Add(entry(w*100 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 64 || s.Total() != 400 {
+		t.Fatalf("len=%d total=%d", s.Len(), s.Total())
+	}
+}
+
+func TestDetectorFiresAfterConsecutiveDriftedWindows(t *testing.T) {
+	d := NewDetector(DriftConfig{Window: 4, Threshold: 0.5, Windows: 2})
+	fired := 0
+	// Two full windows of 4 observations, each off by e^1 ≈ 2.7x: both
+	// drifted, so the signal fires exactly on the 8th observation.
+	for i := 0; i < 8; i++ {
+		if d.Observe(math.E*100, 100) {
+			fired++
+			if i != 7 {
+				t.Fatalf("fired at observation %d", i)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times", fired)
+	}
+	// The run was reset by the signal: two more drifted windows re-fire.
+	for i := 0; i < 8; i++ {
+		fired = 0
+		if d.Observe(math.E*100, 100) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatal("signal did not re-fire after reset")
+	}
+}
+
+func TestDetectorHealthyWindowBreaksRun(t *testing.T) {
+	d := NewDetector(DriftConfig{Window: 2, Threshold: 0.5, Windows: 2})
+	// Drifted window, then a calibrated window, then a drifted window: the
+	// run never reaches 2, so the signal stays silent.
+	pairs := [][2]float64{
+		{300, 100}, {300, 100}, // drifted
+		{100, 100}, {100, 100}, // healthy
+		{300, 100}, {300, 100}, // drifted again
+	}
+	for i, p := range pairs {
+		if d.Observe(p[0], p[1]) {
+			t.Fatalf("signal fired at observation %d", i)
+		}
+	}
+}
+
+func TestDetectorSkipsNonFinite(t *testing.T) {
+	d := NewDetector(DriftConfig{Window: 1, Threshold: 0.1, Windows: 1})
+	if d.Observe(math.NaN(), 100) || d.Observe(100, math.NaN()) ||
+		d.Observe(math.Inf(1), 100) || d.Observe(0, 100) || d.Observe(100, -1) {
+		t.Fatal("non-finite observations must not fire")
+	}
+	if !d.Observe(300, 100) {
+		t.Fatal("finite drifted observation should fire at window 1")
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	d := NewDetector(DriftConfig{Window: 2, Threshold: 0.5, Windows: 1})
+	d.Observe(300, 100) // half a window accumulated
+	d.Reset()
+	if d.Observe(300, 100) {
+		t.Fatal("reset should clear the partial window")
+	}
+	if !d.Observe(300, 100) {
+		t.Fatal("second post-reset observation completes the window")
+	}
+}
+
+func TestDriftConfigNormalize(t *testing.T) {
+	d := NewDetector(DriftConfig{})
+	if d.Config() != DefaultDriftConfig() {
+		t.Fatalf("zero config not normalized: %+v", d.Config())
+	}
+}

@@ -207,17 +207,25 @@ type Options struct {
 }
 
 // Guard is the guarded serving gate. It is safe for concurrent use: the
-// breaker, sentinel and quarantine state live behind one mutex, and
+// scorer, breaker, sentinel and quarantine state live behind one mutex, and
 // everything else is read-only after New.
 type Guard struct {
 	cfg    Config
-	scorer Scorer
 	native func(q *query.Query) *plan.Plan
 	rough  func(day int, p *plan.Plan) float64
 	inj    *faultinject.Injector
 	tel    guardTelemetry
+	// onQuarantine, when set, is invoked (outside the guard's mutex, on the
+	// serving goroutine that observed the trip) each time the regression
+	// sentinel quarantines the scorer — the model-lifecycle drift signal.
+	// Set via SetDriftHook before serving starts.
+	onQuarantine func()
 
-	mu          sync.Mutex
+	mu sync.Mutex
+	// scorer is the live learned path. It is mutable: the model lifecycle
+	// hot-swaps it on promote and rollback (SwapScorer); every read goes
+	// through currentScorer.
+	scorer      Scorer
 	br          breaker
 	quarantined bool
 	// Sentinel window accumulation: samples and adverse samples in the
@@ -242,6 +250,47 @@ func New(o Options) *Guard {
 // Config returns the guard's normalized configuration.
 func (g *Guard) Config() Config { return g.cfg }
 
+// SetDriftHook registers fn to run whenever the regression sentinel
+// quarantines the scorer. The hook runs outside the guard's mutex on the
+// serving goroutine that observed the trip, so it may call back into the
+// guard (SwapScorer, Quarantined); it must be fast and must not block. Set
+// it before serving starts — it is not safe to change concurrently with
+// Serve. The model lifecycle uses it to turn "quarantine and stall" into
+// "trigger retrain".
+func (g *Guard) SetDriftHook(fn func()) { g.onQuarantine = fn }
+
+// currentScorer returns the live scorer.
+func (g *Guard) currentScorer() Scorer {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.scorer
+}
+
+// SwapScorer atomically replaces the learned path with s — the model
+// lifecycle's hot-swap seam (promote and rollback both land here). The new
+// scorer starts with a clean health record: the breaker closes, the sentinel
+// windows clear, and any quarantine is released (counted in
+// guard.quarantine.released) — the old model's divergence history says
+// nothing about the new model. A nil s is ignored. Do not call this outside
+// the lifecycle seam; loam-vet's guarddiscipline enforces that swaps happen
+// only there.
+func (g *Guard) SwapScorer(s Scorer) {
+	if s == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.scorer = s
+	g.br = newBreaker(g.cfg)
+	g.winN, g.winAdverse, g.adverseRun = 0, 0, 0
+	if g.quarantined {
+		g.quarantined = false
+		g.tel.quarantineReleased.Inc()
+	}
+	g.tel.breakerState.Set(float64(BreakerClosed))
+	g.tel.quarantineActive.Set(0)
+}
+
 // State returns the breaker's current position.
 func (g *Guard) State() BreakerState {
 	g.mu.Lock()
@@ -259,14 +308,19 @@ func (g *Guard) Quarantined() bool {
 }
 
 // Reset returns the guard to its initial state: breaker closed, windows
-// empty, quarantine lifted. The operator-intervention path.
+// empty, quarantine lifted (counted in guard.quarantine.released, like a
+// lifecycle-driven release). The operator-intervention path.
 func (g *Guard) Reset() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.br = newBreaker(g.cfg)
-	g.quarantined = false
+	if g.quarantined {
+		g.quarantined = false
+		g.tel.quarantineReleased.Inc()
+	}
 	g.winN, g.winAdverse, g.adverseRun = 0, 0, 0
 	g.tel.breakerState.Set(float64(BreakerClosed))
+	g.tel.quarantineActive.Set(0)
 }
 
 // Serve runs one query through the guarded ladder. It returns an error only
@@ -305,7 +359,7 @@ func (g *Guard) Serve(ctx context.Context, req Request) (Result, error) {
 // traffic goes through Serve. This and the predictor's own internals are the
 // only sanctioned SelectPlan call sites (loam-vet's guarddiscipline rule).
 func (g *Guard) ScoreLearned(cands []*plan.Plan, envs encoding.EnvSource) (*plan.Plan, []float64, error) {
-	return g.scorer.SelectPlan(cands, envs)
+	return g.currentScorer().SelectPlan(cands, envs)
 }
 
 // ScoreLearnedKeyed is ScoreLearned for a keyed environment source: when the
@@ -313,19 +367,23 @@ func (g *Guard) ScoreLearned(cands []*plan.Plan, envs encoding.EnvSource) (*plan
 // which is what serving benchmarks measure. Results are bit-identical to
 // ScoreLearned either way.
 func (g *Guard) ScoreLearnedKeyed(cands []*plan.Plan, envs encoding.EnvSource, key encoding.EnvKey) (*plan.Plan, []float64, error) {
-	if ks, ok := g.scorer.(KeyedScorer); ok && key.Keyed {
+	scorer := g.currentScorer()
+	if ks, ok := scorer.(KeyedScorer); ok && key.Keyed {
 		return ks.SelectPlanKeyed(cands, envs, key)
 	}
-	return g.scorer.SelectPlan(cands, envs)
+	return scorer.SelectPlan(cands, envs)
 }
 
-// selectLearned routes one request to the scorer, using the keyed entry point
-// when both the scorer and the request support it.
+// selectLearned routes one request to the live scorer, using the keyed entry
+// point when both the scorer and the request support it. The scorer is read
+// once per call: a request concurrent with a lifecycle swap scores entirely
+// under one model or the other, never a mixture.
 func (g *Guard) selectLearned(req Request) (*plan.Plan, []float64, error) {
-	if ks, ok := g.scorer.(KeyedScorer); ok && req.EnvKey.Keyed {
+	scorer := g.currentScorer()
+	if ks, ok := scorer.(KeyedScorer); ok && req.EnvKey.Keyed {
 		return ks.SelectPlanKeyed(req.Cands, req.Envs, req.EnvKey)
 	}
-	return g.scorer.SelectPlan(req.Cands, req.Envs)
+	return scorer.SelectPlan(req.Cands, req.Envs)
 }
 
 // admit ticks the breaker's logical clock and decides whether the learned
@@ -409,9 +467,20 @@ func (g *Guard) scoreWithWatchdog(ctx context.Context, req Request) (*plan.Plan,
 
 // observeLearned records a learned-path success: breaker credit plus one
 // regression-sentinel sample comparing the learned choice against the
-// native default under the native optimizer's own rough cost model.
+// native default under the native optimizer's own rough cost model. When the
+// sample quarantines the model, the registered drift hook fires after the
+// mutex is released, on this serving goroutine — single-driver runs observe
+// drift at a deterministic point in the serve sequence.
 func (g *Guard) observeLearned(req Request, chosen *plan.Plan) {
 	adverse, sampled := g.divergence(req, chosen)
+	if g.observeLearnedLocked(adverse, sampled) && g.onQuarantine != nil {
+		g.onQuarantine()
+	}
+}
+
+// observeLearnedLocked applies one learned-path success under the mutex and
+// reports whether this sample tripped the quarantine.
+func (g *Guard) observeLearnedLocked(adverse, sampled bool) (tripped bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.br.recordSuccess() {
@@ -419,7 +488,7 @@ func (g *Guard) observeLearned(req Request, chosen *plan.Plan) {
 		g.tel.breakerState.Set(float64(BreakerClosed))
 	}
 	if !sampled {
-		return
+		return false
 	}
 	g.tel.sentinelSamples.Inc()
 	g.winN++
@@ -433,12 +502,15 @@ func (g *Guard) observeLearned(req Request, chosen *plan.Plan) {
 			if g.adverseRun >= g.cfg.QuarantineWindows && !g.quarantined {
 				g.quarantined = true
 				g.tel.quarantineTrips.Inc()
+				g.tel.quarantineActive.Set(1)
+				tripped = true
 			}
 		} else {
 			g.adverseRun = 0
 		}
 		g.winN, g.winAdverse = 0, 0
 	}
+	return tripped
 }
 
 // divergence scores one sentinel sample: is the learned choice's native

@@ -514,3 +514,133 @@ func TestConfigNormalization(t *testing.T) {
 		t.Fatalf("explicit zero deadline overridden to %v", got)
 	}
 }
+
+// quarantineHarness builds a guard whose sentinel quarantines after two
+// 2-sample adverse windows (the stub picks the last candidate; rough prices
+// it 10x the default) and drives it there.
+func quarantineHarness(t *testing.T) *testHarness {
+	t.Helper()
+	cfg := smallCfg()
+	cfg.DivergenceBand = 2
+	cfg.DivergenceWindow = 2
+	cfg.QuarantineWindows = 2
+	h := newHarness(cfg, &stubScorer{}, nil)
+	h.g.rough = func(day int, p *plan.Plan) float64 {
+		if p == h.req.Cands[0] {
+			return 1
+		}
+		return 10
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := h.g.Serve(context.Background(), h.req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !h.g.Quarantined() {
+		t.Fatal("harness failed to quarantine")
+	}
+	return h
+}
+
+// TestSwapScorerReleasesQuarantine pins the lifecycle seam's guard side: a
+// scorer swap installs the new model, restarts the breaker and sentinel,
+// lifts the quarantine, and counts the release.
+func TestSwapScorerReleasesQuarantine(t *testing.T) {
+	h := quarantineHarness(t)
+	h.g.SwapScorer(&stubScorer{})
+	if h.g.Quarantined() {
+		t.Fatal("SwapScorer did not lift quarantine")
+	}
+	if got := h.counter(t, "guard.quarantine.released"); got != 1 {
+		t.Fatalf("guard.quarantine.released = %d, want 1", got)
+	}
+	if got := h.reg.Gauge("guard.quarantine.active").Value(); got != 0 {
+		t.Fatalf("guard.quarantine.active = %v, want 0", got)
+	}
+	if h.g.State() != BreakerClosed {
+		t.Fatalf("breaker not restarted: %v", h.g.State())
+	}
+	res, err := h.g.Serve(context.Background(), h.req)
+	if err != nil || res.Origin != OriginLearned {
+		t.Fatalf("swapped scorer not serving: origin %v err %v", res.Origin, err)
+	}
+	// The sentinel restarted too: one window of history is gone, so the
+	// same adverse cadence needs two full windows again to re-trip.
+	for i := 0; i < 3; i++ {
+		if _, err := h.g.Serve(context.Background(), h.req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.counter(t, "guard.quarantine.trips"); got != 2 {
+		t.Fatalf("guard.quarantine.trips = %d, want 2 (fresh windows after swap)", got)
+	}
+}
+
+// TestSwapScorerNilIsNoop: a nil swap must not clear the serving scorer or
+// disturb guard state.
+func TestSwapScorerNilIsNoop(t *testing.T) {
+	h := quarantineHarness(t)
+	h.g.SwapScorer(nil)
+	if !h.g.Quarantined() {
+		t.Fatal("nil swap disturbed quarantine state")
+	}
+	if got := h.counter(t, "guard.quarantine.released"); got != 0 {
+		t.Fatalf("nil swap counted a release: %d", got)
+	}
+}
+
+// TestResetCountsQuarantineRelease: the manual operator path reports the
+// same release telemetry as the lifecycle path.
+func TestResetCountsQuarantineRelease(t *testing.T) {
+	h := quarantineHarness(t)
+	h.g.Reset()
+	if got := h.counter(t, "guard.quarantine.released"); got != 1 {
+		t.Fatalf("guard.quarantine.released = %d, want 1", got)
+	}
+	if got := h.reg.Gauge("guard.quarantine.active").Value(); got != 0 {
+		t.Fatalf("guard.quarantine.active = %v, want 0", got)
+	}
+	// Reset without a quarantine must not count a release.
+	h.g.Reset()
+	if got := h.counter(t, "guard.quarantine.released"); got != 1 {
+		t.Fatalf("unquarantined Reset counted a release: %d", got)
+	}
+}
+
+// TestDriftHookFiresOutsideLock: the sentinel trip invokes the drift hook on
+// the serving goroutine, after the guard lock is released — calling back
+// into the guard from the hook (as the lifecycle's rollback path does) must
+// not deadlock.
+func TestDriftHookFiresOutsideLock(t *testing.T) {
+	cfg := smallCfg()
+	cfg.DivergenceBand = 2
+	cfg.DivergenceWindow = 2
+	cfg.QuarantineWindows = 1
+	h := newHarness(cfg, &stubScorer{}, nil)
+	h.g.rough = func(day int, p *plan.Plan) float64 {
+		if p == h.req.Cands[0] {
+			return 1
+		}
+		return 10
+	}
+	fired := 0
+	h.g.SetDriftHook(func() {
+		fired++
+		// Reentrancy: the lifecycle swaps a fresh model in from the hook.
+		h.g.SwapScorer(&stubScorer{})
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := h.g.Serve(context.Background(), h.req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("drift hook fired %d times, want 1", fired)
+	}
+	if h.g.Quarantined() {
+		t.Fatal("hook's SwapScorer should have released the quarantine")
+	}
+	if got := h.counter(t, "guard.quarantine.released"); got != 1 {
+		t.Fatalf("guard.quarantine.released = %d, want 1", got)
+	}
+}

@@ -32,10 +32,12 @@ type guardTelemetry struct {
 	breakerClosed     *telemetry.Counter
 	breakerState      *telemetry.Gauge
 
-	deadlineHits    *telemetry.Counter
-	quarantineTrips *telemetry.Counter
-	sentinelSamples *telemetry.Counter
-	sentinelAdverse *telemetry.Counter
+	deadlineHits       *telemetry.Counter
+	quarantineTrips    *telemetry.Counter
+	quarantineReleased *telemetry.Counter
+	quarantineActive   *telemetry.Gauge
+	sentinelSamples    *telemetry.Counter
+	sentinelAdverse    *telemetry.Counter
 
 	injPredictor *telemetry.Counter
 	injNaN       *telemetry.Counter
@@ -66,10 +68,12 @@ func newGuardTelemetry(reg *telemetry.Registry) guardTelemetry {
 		breakerClosed:     reg.Counter("guard.breaker.closed"),
 		breakerState:      reg.Gauge("guard.breaker.state"),
 
-		deadlineHits:    reg.Counter("guard.deadline.hits"),
-		quarantineTrips: reg.Counter("guard.quarantine.trips"),
-		sentinelSamples: reg.Counter("guard.sentinel.samples"),
-		sentinelAdverse: reg.Counter("guard.sentinel.adverse_samples"),
+		deadlineHits:       reg.Counter("guard.deadline.hits"),
+		quarantineTrips:    reg.Counter("guard.quarantine.trips"),
+		quarantineReleased: reg.Counter("guard.quarantine.released"),
+		quarantineActive:   reg.Gauge("guard.quarantine.active"),
+		sentinelSamples:    reg.Counter("guard.sentinel.samples"),
+		sentinelAdverse:    reg.Counter("guard.sentinel.adverse_samples"),
 
 		injPredictor: reg.Counter("guard.inject.predictor_errors"),
 		injNaN:       reg.Counter("guard.inject.nan_estimates"),

@@ -406,6 +406,13 @@ func (p *Predictor) Metrics() Metrics { return p.metrics }
 // per-feature means observed across training plans.
 func (p *Predictor) TrainMeanEnv() [4]float64 { return p.trainMeanEnv }
 
+// Config returns the hyperparameter configuration the predictor was trained
+// with (after Train's normalization). The model lifecycle derives retrain
+// configurations from it — same architecture and budgets, a bumped seed per
+// trained successor — so retrained models are deterministic descendants of
+// the incumbent.
+func (p *Predictor) Config() Config { return p.cfg }
+
 // EncoderConfig returns the encoder configuration the predictor was trained
 // with. After predictor.Load it is the configuration restored from the
 // snapshot — callers rebinding a restored model to a serving deployment must

@@ -2,6 +2,7 @@ package predictor
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -30,6 +31,14 @@ type snapshot struct {
 }
 
 const snapshotVersion = 1
+
+// ErrCorruptSnapshot marks a snapshot whose payload disagrees with the
+// architecture its own config describes — truncated or missing tensors,
+// shape mismatches, a booster-kind snapshot without a booster, or
+// non-positive architecture dimensions. The lifecycle's hot-swap path (and
+// any DeployFromModel caller) matches it with errors.Is to tell corruption
+// from I/O failures; a Load that returns it has mutated nothing.
+var ErrCorruptSnapshot = errors.New("predictor: corrupt model snapshot")
 
 // allParams returns the predictor's trainable tensors in a deterministic
 // order (backbone, cost head, domain classifier).
@@ -86,11 +95,22 @@ func Load(r io.Reader) (*Predictor, error) {
 		metrics:      snap.Metrics,
 	}
 	if snap.Config.Kind == KindXGBoost {
+		if len(snap.XGB) == 0 {
+			return nil, fmt.Errorf("%w: xgboost snapshot carries no booster", ErrCorruptSnapshot)
+		}
 		p.xgbModel = &xgb.Model{}
 		if err := json.Unmarshal(snap.XGB, p.xgbModel); err != nil {
-			return nil, fmt.Errorf("unmarshal booster: %w", err)
+			return nil, fmt.Errorf("%w: unmarshal booster: %v", ErrCorruptSnapshot, err)
 		}
 		return p, nil
+	}
+
+	// Validate the architecture dimensions before rebuilding: a tampered
+	// config with non-positive sizes would otherwise panic inside the layer
+	// constructors.
+	if snap.Config.Hidden <= 0 || snap.Config.Layers <= 0 || snap.Config.EmbDim <= 0 {
+		return nil, fmt.Errorf("%w: non-positive architecture dims (hidden=%d layers=%d embdim=%d)",
+			ErrCorruptSnapshot, snap.Config.Hidden, snap.Config.Layers, snap.Config.EmbDim)
 	}
 
 	// Rebuild the architecture, then overwrite the weights.
@@ -107,14 +127,22 @@ func Load(r io.Reader) (*Predictor, error) {
 	p.domHid = nn.NewLinear(rng.Derive("domHid"), snap.Config.EmbDim, snap.Config.Hidden)
 	p.domOut = nn.NewLinear(rng.Derive("domOut"), snap.Config.Hidden, 2)
 
+	// Every tensor is validated against the rebuilt architecture before any
+	// weight is copied: a truncated or reshaped Params list (including a
+	// neural-kind snapshot carrying a booster payload instead) fails loudly
+	// here rather than panicking or silently corrupting weights.
 	params := p.allParams()
 	if len(params) != len(snap.Params) {
-		return nil, fmt.Errorf("snapshot has %d tensors, architecture needs %d", len(snap.Params), len(params))
+		return nil, fmt.Errorf("%w: snapshot has %d tensors, architecture needs %d",
+			ErrCorruptSnapshot, len(snap.Params), len(params))
 	}
 	for i, t := range params {
 		if len(t.Data) != len(snap.Params[i]) {
-			return nil, fmt.Errorf("tensor %d size mismatch: %d vs %d", i, len(snap.Params[i]), len(t.Data))
+			return nil, fmt.Errorf("%w: tensor %d size mismatch: snapshot %d vs architecture %d",
+				ErrCorruptSnapshot, i, len(snap.Params[i]), len(t.Data))
 		}
+	}
+	for i, t := range params {
 		copy(t.Data, snap.Params[i])
 	}
 	return p, nil

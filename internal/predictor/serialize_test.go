@@ -2,6 +2,8 @@ package predictor
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
@@ -66,5 +68,140 @@ func TestLoadRejectsTamperedParams(t *testing.T) {
 	s = strings.Replace(s, `"params":[[`, `"params":[[9],[`, 1)
 	if _, err := Load(strings.NewReader(s)); err == nil {
 		t.Fatal("mismatched tensor shapes should fail")
+	}
+}
+
+// savedSnapshot trains a tiny model of the given kind and returns its
+// decoded snapshot for tampering.
+func savedSnapshot(t *testing.T, kind Kind) map[string]json.RawMessage {
+	t.Helper()
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 23)
+	orig, err := Train(tinyConfig(kind), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// loadSnapshot re-encodes a (tampered) snapshot map and runs Load on it.
+func loadSnapshot(t *testing.T, snap map[string]json.RawMessage) error {
+	t.Helper()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lerr := Load(bytes.NewReader(data))
+	return lerr
+}
+
+func TestLoadRejectsTruncatedParamList(t *testing.T) {
+	snap := savedSnapshot(t, KindTCN)
+	var params [][]float64
+	if err := json.Unmarshal(snap["params"], &params); err != nil {
+		t.Fatal(err)
+	}
+	params = params[:len(params)-1]
+	trunc, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap["params"] = trunc
+	lerr := loadSnapshot(t, snap)
+	if lerr == nil {
+		t.Fatal("truncated param list should fail")
+	}
+	if !errors.Is(lerr, ErrCorruptSnapshot) {
+		t.Fatalf("want ErrCorruptSnapshot, got %v", lerr)
+	}
+}
+
+func TestLoadRejectsWrongTensorShape(t *testing.T) {
+	snap := savedSnapshot(t, KindTCN)
+	var params [][]float64
+	if err := json.Unmarshal(snap["params"], &params); err != nil {
+		t.Fatal(err)
+	}
+	// Same tensor count, one tensor shortened: per-tensor validation must
+	// catch it before any weight is copied.
+	last := len(params) - 1
+	params[last] = params[last][:len(params[last])-1]
+	resized, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap["params"] = resized
+	lerr := loadSnapshot(t, snap)
+	if lerr == nil {
+		t.Fatal("reshaped tensor should fail")
+	}
+	if !errors.Is(lerr, ErrCorruptSnapshot) {
+		t.Fatalf("want ErrCorruptSnapshot, got %v", lerr)
+	}
+}
+
+// TestLoadRejectsKindMismatch crosses the two snapshot payload shapes: a
+// neural snapshot whose config claims XGBoost (no booster present) and an
+// XGBoost snapshot whose config claims a neural kind (no params present).
+// Both must fail with ErrCorruptSnapshot instead of panicking or building a
+// model with garbage weights.
+func TestLoadRejectsKindMismatch(t *testing.T) {
+	swapKind := func(snap map[string]json.RawMessage, kind Kind) {
+		var cfg Config
+		if err := json.Unmarshal(snap["config"], &cfg); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Kind = kind
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap["config"] = raw
+	}
+
+	neural := savedSnapshot(t, KindTCN)
+	swapKind(neural, KindXGBoost)
+	if err := loadSnapshot(t, neural); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("neural snapshot relabeled xgboost: want ErrCorruptSnapshot, got %v", err)
+	}
+
+	booster := savedSnapshot(t, KindXGBoost)
+	swapKind(booster, KindTCN)
+	if err := loadSnapshot(t, booster); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("xgboost snapshot relabeled neural: want ErrCorruptSnapshot, got %v", err)
+	}
+}
+
+// TestLoadRejectsBadArchitectureDims pins the pre-rebuild validation: a
+// tampered config with non-positive layer sizes must fail cleanly instead
+// of panicking inside the layer constructors.
+func TestLoadRejectsBadArchitectureDims(t *testing.T) {
+	for _, tamper := range []func(*Config){
+		func(c *Config) { c.Hidden = 0 },
+		func(c *Config) { c.Layers = -1 },
+		func(c *Config) { c.EmbDim = 0 },
+	} {
+		snap := savedSnapshot(t, KindTCN)
+		var cfg Config
+		if err := json.Unmarshal(snap["config"], &cfg); err != nil {
+			t.Fatal(err)
+		}
+		tamper(&cfg)
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap["config"] = raw
+		if lerr := loadSnapshot(t, snap); !errors.Is(lerr, ErrCorruptSnapshot) {
+			t.Fatalf("bad dims (%+v): want ErrCorruptSnapshot, got %v", cfg, lerr)
+		}
 	}
 }

@@ -28,11 +28,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"loam/internal/cluster"
 	"loam/internal/encoding"
 	"loam/internal/exec"
 	"loam/internal/explorer"
+	"loam/internal/faultinject"
 	"loam/internal/guard"
 	"loam/internal/history"
 	"loam/internal/nativeopt"
@@ -256,10 +258,11 @@ func DefaultDeployConfig() DeployConfig {
 // is safe for concurrent use: Optimize, OptimizeBatch and ExecuteChoice may
 // be called from multiple goroutines against the same deployment (changing
 // the strategy concurrently with serving is not — call SetStrategy between
-// serving phases).
+// serving phases). The serving model is held behind an atomic pointer so the
+// lifecycle manager (WithLifecycle) can hot-swap a retrained predictor under
+// live traffic; read it via Predictor().
 type Deployment struct {
 	ProjectSim *ProjectSim
-	Predictor  *predictor.Predictor
 	Encoder    *encoding.Encoder
 	// Strategy is the live inference strategy. It stays exported for reading;
 	// set it via WithStrategy at deploy time or SetStrategy afterwards.
@@ -268,10 +271,29 @@ type Deployment struct {
 	TrainSize int
 	TestSet   []history.Entry
 
+	// pred is the serving model. Swaps go through the lifecycle seam
+	// (Lifecycle promote/rollback), which pairs the pointer store with a
+	// guard scorer swap; each stored predictor carries its own fresh plan
+	// cache, so embeddings can never outlive the weights that produced them.
+	pred         atomic.Pointer[predictor.Predictor]
+	planCacheCap int
+	inj          *faultinject.Injector
+
 	tel *telemetry.Registry
 	obs servingTelemetry
 	grd *guard.Guard
+	lc  *Lifecycle
 }
+
+// Predictor returns the deployment's current serving model. With a lifecycle
+// attached the model can change across calls (promote or rollback); within
+// one serve call the guard reads its scorer exactly once, so a single query
+// is never scored by a mix of models.
+func (d *Deployment) Predictor() *predictor.Predictor { return d.pred.Load() }
+
+// Lifecycle returns the deployment's model lifecycle manager, or nil when
+// the deployment was not deployed with WithLifecycle.
+func (d *Deployment) Lifecycle() *Lifecycle { return d.lc }
 
 // SetStrategy switches the deployment's inference strategy (§5). Like the
 // old direct field write it replaces, it must not race with in-flight
@@ -343,17 +365,32 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 	// never outlive the weights that produced them.
 	pred.EnablePlanCache(o.planCache)
 	d := &Deployment{
-		ProjectSim: ps,
-		Predictor:  pred,
-		Encoder:    enc,
-		Strategy:   o.strategy,
-		TrainSize:  len(train),
-		TestSet:    test,
-		tel:        o.metrics,
-		obs:        newServingTelemetry(o.metrics),
+		ProjectSim:   ps,
+		Encoder:      enc,
+		Strategy:     o.strategy,
+		TrainSize:    len(train),
+		TestSet:      test,
+		planCacheCap: o.planCache,
+		inj:          o.injector,
+		tel:          o.metrics,
+		obs:          newServingTelemetry(o.metrics),
 	}
+	d.pred.Store(pred)
 	d.grd = ps.newGuard(pred, o)
+	d.attachLifecycle(o)
 	return d, nil
+}
+
+// attachLifecycle wires the model lifecycle manager when WithLifecycle was
+// given: the guard's regression sentinel reports quarantine trips to the
+// lifecycle (outside the guard lock), and ExecuteChoice starts harvesting
+// feedback.
+func (d *Deployment) attachLifecycle(o deployOptions) {
+	if o.lifecycle == nil {
+		return
+	}
+	d.lc = newLifecycle(d, *o.lifecycle)
+	d.grd.SetDriftHook(d.lc.noteSentinelTrip)
 }
 
 // newGuard wires a serving guard for a deployment: the trained predictor is
@@ -551,14 +588,25 @@ func (d *Deployment) envSource() (encoding.EnvSource, encoding.EnvKey) {
 	cl := d.ProjectSim.Executor.Cluster
 	ce := cl.HistoryAverage().Normalized()
 	cb := cl.ClusterAverage().Normalized()
-	return d.Predictor.EnvSourceFor(d.Strategy, ce, cb), d.Predictor.EnvKeyFor(d.Strategy, ce, cb)
+	// One predictor read serves both derivations: the env source and its
+	// cache key always describe the same model's view of the environment,
+	// even if a lifecycle swap lands between two serve calls.
+	p := d.pred.Load()
+	return p.EnvSourceFor(d.Strategy, ce, cb), p.EnvKeyFor(d.Strategy, ce, cb)
 }
 
-// ExecuteChoice runs the chosen plan, logs it, and returns the record.
+// ExecuteChoice runs the chosen plan, logs it, and returns the record. With
+// a lifecycle attached (WithLifecycle) the execution also feeds the online
+// feedback store — the (plan, environment, actual cost) observation plus the
+// model's serving-time estimate — and gives the lifecycle its chance to
+// react to drift: retrain, promote, or roll back (see Lifecycle).
 func (d *Deployment) ExecuteChoice(c *Choice) *exec.Record {
 	rec := d.ProjectSim.Executor.Execute(c.Chosen, c.Query.Day, d.ProjectSim.execOptions(c.Query))
 	rec.TemplateID = c.Query.TemplateID
 	d.ProjectSim.Repo.Append(history.Entry{Query: c.Query, Record: rec})
+	if d.lc != nil {
+		d.lc.observe(c, rec)
+	}
 	return rec
 }
 
@@ -570,8 +618,9 @@ func (ps *ProjectSim) Rng(name string) *simrand.RNG { return ps.rng.Derive(name)
 // exported for tools that execute plans out-of-band (flighting comparisons).
 func (ps *ProjectSim) ExecOptions(q *query.Query) exec.Options { return ps.execOptions(q) }
 
-// SaveModel serializes the deployment's trained predictor.
-func (d *Deployment) SaveModel(w io.Writer) error { return d.Predictor.Save(w) }
+// SaveModel serializes the deployment's current serving predictor — after a
+// lifecycle promote, that is the promoted model.
+func (d *Deployment) SaveModel(w io.Writer) error { return d.pred.Load().Save(w) }
 
 // DeployFromModel restores a previously saved predictor and binds it to this
 // project as a serving deployment. trainDays/testDays select which history
@@ -591,15 +640,18 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 	pred.EnablePlanCache(o.planCache)
 	train, test := ps.Repo.Split(trainDays, testDays, 0)
 	d := &Deployment{
-		ProjectSim: ps,
-		Predictor:  pred,
-		Encoder:    encoding.NewEncoder(pred.EncoderConfig()),
-		Strategy:   o.strategy,
-		TrainSize:  len(train),
-		TestSet:    test,
-		tel:        o.metrics,
-		obs:        newServingTelemetry(o.metrics),
+		ProjectSim:   ps,
+		Encoder:      encoding.NewEncoder(pred.EncoderConfig()),
+		Strategy:     o.strategy,
+		TrainSize:    len(train),
+		TestSet:      test,
+		planCacheCap: o.planCache,
+		inj:          o.injector,
+		tel:          o.metrics,
+		obs:          newServingTelemetry(o.metrics),
 	}
+	d.pred.Store(pred)
 	d.grd = ps.newGuard(pred, o)
+	d.attachLifecycle(o)
 	return d, nil
 }

@@ -231,7 +231,7 @@ func TestSaveAndRestoreNonDefaultEncoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := restored.Predictor.EncoderConfig(); got != dcfg.Encoder {
+	if got := restored.Predictor().EncoderConfig(); got != dcfg.Encoder {
 		t.Fatalf("restored encoder config %+v, want %+v", got, dcfg.Encoder)
 	}
 	if got := restored.Encoder.Config(); got != dcfg.Encoder {
@@ -281,5 +281,40 @@ func TestLatencyNoisierThanCost(t *testing.T) {
 	}
 	if rsd(lats) <= rsd(costs) {
 		t.Fatalf("latency RSD %.3f should exceed cost RSD %.3f (§3)", rsd(lats), rsd(costs))
+	}
+}
+
+// TestDeployFromModelCorruptSnapshot pins the root-level corruption
+// sentinel: a snapshot whose payload disagrees with its own config must
+// surface as loam.ErrCorruptSnapshot through DeployFromModel's wrap, so
+// callers can tell corruption from I/O failures without importing
+// internal/predictor.
+func TestDeployFromModelCorruptSnapshot(t *testing.T) {
+	_, ps := tinyProject(t, 11)
+	ps.RunDays(0, 6)
+	dcfg := DefaultDeployConfig()
+	dcfg.TrainDays = 5
+	dcfg.TestDays = 1
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 4
+	dep, err := ps.Deploy(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dep.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the tensor list: same JSON shape, inconsistent payload.
+	tampered := bytes.Replace(buf.Bytes(), []byte(`"params":[[`), []byte(`"params":[[9],[`), 1)
+	_, err = ps.DeployFromModel(bytes.NewReader(tampered), 5, 1)
+	if err == nil {
+		t.Fatal("tampered snapshot should fail to restore")
+	}
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("want ErrCorruptSnapshot in the chain, got %v", err)
+	}
+	if !errors.Is(err, predictor.ErrCorruptSnapshot) {
+		t.Fatalf("root re-export must alias the predictor sentinel, got %v", err)
 	}
 }

@@ -40,6 +40,54 @@ func newServingTelemetry(reg *telemetry.Registry) servingTelemetry {
 	}
 }
 
+// lifecycleTelemetry holds the model-lifecycle instruments (lifecycle.* and
+// model.version). They are registered only when WithLifecycle attaches a
+// manager, so lifecycle-free deployments snapshot exactly as before. Every
+// value is either a monotonic count or a gauge written under the lifecycle
+// mutex, so same-seed single-driver runs snapshot byte-identically.
+type lifecycleTelemetry struct {
+	modelVersion      *telemetry.Gauge
+	feedbackHarvested *telemetry.Counter
+	feedbackSize      *telemetry.Gauge
+	driftSignals      *telemetry.Counter
+	retrainRuns       *telemetry.Counter
+	retrainFailed     *telemetry.Counter
+	retrainRejected   *telemetry.Counter
+	promotes          *telemetry.Counter
+	rollbacks         *telemetry.Counter
+	shadowIncumbent   *telemetry.Gauge
+	shadowCandidate   *telemetry.Gauge
+}
+
+// newLifecycleTelemetry resolves the lifecycle instruments from a registry.
+func newLifecycleTelemetry(reg *telemetry.Registry) lifecycleTelemetry {
+	return lifecycleTelemetry{
+		modelVersion:      reg.Gauge("model.version"),
+		feedbackHarvested: reg.Counter("lifecycle.feedback.harvested"),
+		feedbackSize:      reg.Gauge("lifecycle.feedback.size"),
+		driftSignals:      reg.Counter("lifecycle.drift.signals"),
+		retrainRuns:       reg.Counter("lifecycle.retrain.runs"),
+		retrainFailed:     reg.Counter("lifecycle.retrain.failed"),
+		retrainRejected:   reg.Counter("lifecycle.retrain.rejected"),
+		promotes:          reg.Counter("lifecycle.promote"),
+		rollbacks:         reg.Counter("lifecycle.rollback"),
+		shadowIncumbent:   reg.Gauge("lifecycle.shadow.incumbent_logerr"),
+		shadowCandidate:   reg.Gauge("lifecycle.shadow.candidate_logerr"),
+	}
+}
+
+// setShadowErrs records the latest shadow-scoring comparison; NaN scores
+// (nothing scorable in the window) leave the gauges untouched rather than
+// poisoning the snapshot.
+func (t lifecycleTelemetry) setShadowErrs(incumbent, candidate float64) {
+	if !math.IsNaN(incumbent) {
+		t.shadowIncumbent.Set(incumbent)
+	}
+	if !math.IsNaN(candidate) {
+		t.shadowCandidate.Set(candidate)
+	}
+}
+
 // observeEstimates records estimate-quality signals for one choice: how many
 // candidate estimates were NaN, and the relative spread (max−min)/min of the
 // finite ones — a wide spread means steering had real headroom to exploit,

@@ -26,6 +26,7 @@ type deployOptions struct {
 	guardCfg  guard.Config
 	injector  *faultinject.Injector
 	planCache int
+	lifecycle *LifecycleConfig
 }
 
 // resolveDeployOptions applies opts over the defaults: the paper's MeanEnv
@@ -84,6 +85,19 @@ func WithGuardConfig(cfg GuardConfig) DeployOption {
 // model never sees embeddings from older weights.
 func WithPlanCache(capacity int) DeployOption {
 	return func(o *deployOptions) { o.planCache = capacity }
+}
+
+// WithLifecycle attaches a model lifecycle manager to the deployment: every
+// ExecuteChoice feeds a bounded feedback store, drift (prediction-vs-actual
+// divergence, or the guard sentinel's quarantine trips) triggers a
+// deterministic retrain, the retrained model is shadow-scored against the
+// incumbent on the recent feedback window, and an accepted model is
+// hot-swapped in atomically — with automatic rollback if the sentinel trips
+// on the promoted model while its predecessor is still on file. Zero config
+// fields take defaults (see LifecycleConfig); pass DefaultLifecycleConfig()
+// for the standard loop.
+func WithLifecycle(cfg LifecycleConfig) DeployOption {
+	return func(o *deployOptions) { o.lifecycle = &cfg }
 }
 
 // WithFaultInjector arms the deployment with a deterministic fault injector

@@ -25,6 +25,12 @@ var (
 	// ErrNoFiniteEstimate reports an optimize call where no candidate plan
 	// received a finite cost estimate.
 	ErrNoFiniteEstimate = predictor.ErrNoFiniteEstimate
+	// ErrCorruptSnapshot reports a DeployFromModel whose snapshot payload
+	// disagrees with the architecture its own config describes (truncated
+	// or reshaped tensors, kind mismatch, bad dimensions). Distinguishable
+	// from I/O failures with errors.Is; a load that returns it has mutated
+	// nothing.
+	ErrCorruptSnapshot = predictor.ErrCorruptSnapshot
 )
 
 // Guard sentinels: the failure taxonomy (transient vs permanent) plus the
@@ -45,7 +51,10 @@ var (
 	// breaker cools down.
 	ErrBreakerOpen = guard.ErrBreakerOpen
 	// ErrModelQuarantined reports the model sidelined by the regression
-	// sentinel until Deployment.Guard().Reset().
+	// sentinel. Quarantine lifts when an operator calls
+	// Deployment.Guard().Reset(), or when the lifecycle (WithLifecycle)
+	// promotes a retrained model or rolls back during probation — the swap
+	// retires the indicted scorer, so the sentinel starts fresh.
 	ErrModelQuarantined = guard.ErrQuarantined
 	// ErrNoServablePlan reports total exhaustion of the fallback ladder —
 	// learned, native re-plan and default candidate all unavailable. It is

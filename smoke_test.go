@@ -32,8 +32,8 @@ func TestSmokePipeline(t *testing.T) {
 		t.Fatalf("deploy: %v", err)
 	}
 	t.Logf("train=%d test=%d trainTime=%.2fs modelBytes=%d meanEnv=%v",
-		dep.TrainSize, len(dep.TestSet), dep.Predictor.Metrics().TrainSeconds,
-		dep.Predictor.Metrics().ModelBytes, dep.Predictor.TrainMeanEnv())
+		dep.TrainSize, len(dep.TestSet), dep.Predictor().Metrics().TrainSeconds,
+		dep.Predictor().Metrics().ModelBytes, dep.Predictor().TrainMeanEnv())
 
 	if len(dep.TestSet) == 0 {
 		t.Fatal("no test queries")
@@ -52,8 +52,8 @@ func TestSmokePipeline(t *testing.T) {
 			choice.Estimates[choice.ChosenIdx], rec.CPUCost, e.Record.CPUCost)
 	}
 
-	if dep.Predictor.Metrics().FinalCostLoss <= 0 {
-		t.Errorf("expected positive final cost loss, got %v", dep.Predictor.Metrics().FinalCostLoss)
+	if dep.Predictor().Metrics().FinalCostLoss <= 0 {
+		t.Errorf("expected positive final cost loss, got %v", dep.Predictor().Metrics().FinalCostLoss)
 	}
 	_ = predictor.StrategyMeanEnv
 }
