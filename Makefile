@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-go lint lint-fix-hints chaos verify
+.PHONY: build test race bench bench-smoke bench-go lint lint-fix-hints lint-report chaos verify
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,13 @@ bench-go:
 
 # lint runs stock go vet plus loam-vet, the repo's own analyzer suite
 # (internal/analysis): determinism, lockdiscipline, nansafety, errwrap,
-# guarddiscipline. See DESIGN.md "Static analysis & code contracts".
+# guarddiscipline, inferencepurity, and the typed contracts allocdiscipline,
+# lockorder and ctxflow. See DESIGN.md "Static analysis & code contracts".
+#
+# Budget: the typed suite (go/types load of every package + call graph + all
+# nine analyzers) completes in ~2s wall on the full repo, ~4s including the
+# `go run` compile of loam-vet itself. If a change pushes the suite past ~10s,
+# treat it as a regression in the analyzer, not a cost of doing business.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/loam-vet ./...
@@ -37,6 +43,13 @@ lint:
 # lint-fix-hints prints a suggested rewrite under each finding.
 lint-fix-hints:
 	$(GO) run ./cmd/loam-vet -hints ./...
+
+# lint-report writes the machine-readable report (active findings, suppressed
+# findings with their allowlist Reasons, stale allowlist entries); CI uploads
+# it as an artifact. Exit status matches `lint`: findings or stale entries
+# fail.
+lint-report:
+	$(GO) run ./cmd/loam-vet -json ./... > LINT_report.json
 
 # chaos re-runs the resilience suite — fault injection, circuit-breaker
 # transitions, quarantine, forced outages, and the model-lifecycle fault

@@ -267,7 +267,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	env, _ := getBenchEnv(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := env.Serve()
+		r, err := env.Serve(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

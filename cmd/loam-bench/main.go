@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -182,7 +183,7 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	if has("serve") {
 		section("serve")
-		r, err := env.Serve()
+		r, err := env.Serve(context.Background())
 		if err != nil {
 			return err
 		}
@@ -206,7 +207,7 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	if has("perf") {
 		section("perf")
-		r, err := env.Perf()
+		r, err := env.Perf(context.Background())
 		if err != nil {
 			return err
 		}

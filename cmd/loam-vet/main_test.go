@@ -77,6 +77,57 @@ func Wrap(err error) error { return fmt.Errorf("load state: %v", err) }
 `},
 			want: "[errwrap]",
 		},
+		{
+			// The ISSUE.md acceptance demo: an append + string concat planted
+			// in a helper reachable from PredictCost fails the lint gate.
+			rule: "allocdiscipline",
+			files: map[string]string{"internal/predictor/p.go": `package predictor
+func PredictCost(xs []float64) float64 { return helper(xs, "q") }
+func helper(xs []float64, name string) float64 {
+	var grown []float64
+	grown = append(xs, 1)
+	name = name + "!"
+	_ = name
+	return grown[0]
+}
+`},
+			want: "[allocdiscipline]",
+		},
+		{
+			rule: "lockorder",
+			files: map[string]string{"internal/p/p.go": `package p
+import "sync"
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+func (a *A) One() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+func (b *B) Two() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+`},
+			want: "[lockorder]",
+		},
+		{
+			rule: "ctxflow",
+			files: map[string]string{"internal/p/p.go": `package p
+import "context"
+func Go() context.Context { return context.Background() }
+`},
+			want: "[ctxflow]",
+		},
 	}
 	for _, tc := range tests {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -120,5 +171,117 @@ func TestListAndBadRules(t *testing.T) {
 	out.Reset()
 	if code := run(&out, &errw, []string{"-rules", "nosuch", "../.."}); code != 2 {
 		t.Fatalf("unknown -rules exit = %d, want 2", code)
+	}
+}
+
+// TestRootsFlag: -roots swaps the allocdiscipline serving-root set, letting a
+// deployment gate its own entry points; malformed specs are a usage error.
+func TestRootsFlag(t *testing.T) {
+	files := map[string]string{"internal/x/x.go": `package x
+func Serve() []float64 { return grow() }
+func grow() []float64 { return make([]float64, 8) }
+`}
+	root := writeModule(t, files)
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-rules", "allocdiscipline", root}); code != 0 {
+		t.Fatalf("default roots should not reach internal/x, exit = %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	code := run(&out, &errw, []string{"-roots", "internal/x.Serve", "-rules", "allocdiscipline", root})
+	if code != 1 || !strings.Contains(out.String(), "[allocdiscipline]") {
+		t.Fatalf("custom root exit = %d:\n%s", code, out.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run(&out, &errw, []string{"-roots", "nodot", root}); code != 2 {
+		t.Fatalf("malformed -roots exit = %d, want 2:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "not pkgsuffix.Func") {
+		t.Fatalf("malformed -roots error missing hint:\n%s", errw.String())
+	}
+}
+
+// jsonGolden pins the -json report byte-for-byte: field names, ordering, and
+// the exact rendering of findings, suppressions and the empty stale array.
+// CI consumes this format; changing it is an interface change.
+const jsonGolden = `{
+  "findings": [
+    {
+      "file": "internal/p/p.go",
+      "line": 2,
+      "analyzer": "determinism",
+      "message": "import of math/rand is forbidden: all randomness must flow through internal/simrand's named streams"
+    }
+  ],
+  "suppressed": [
+    {
+      "file": "internal/simrand/r.go",
+      "line": 2,
+      "analyzer": "determinism",
+      "message": "import of math/rand is forbidden: all randomness must flow through internal/simrand's named streams",
+      "reason": "simrand IS the sanctioned randomness boundary: it wraps math/rand's PRNG core behind named, seed-derivable streams; nothing else may import it"
+    }
+  ],
+  "stale": []
+}
+`
+
+func TestJSONGolden(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/p/p.go": `package p
+import "math/rand"
+func Roll() int { return rand.Intn(6) }
+`,
+		"internal/simrand/r.go": `package simrand
+import "math/rand"
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`,
+	})
+	var out, errw bytes.Buffer
+	code := run(&out, &errw, []string{"-rules", "determinism", "-json", root})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (one active finding):\n%s%s", code, out.String(), errw.String())
+	}
+	if out.String() != jsonGolden {
+		t.Fatalf("-json output drifted from golden:\n--- got ---\n%s--- want ---\n%s", out.String(), jsonGolden)
+	}
+}
+
+// TestStaleAllowlistFailsRun: on a module where no allowlist entry matches
+// anything, the stale entries alone force exit 1 — suppressions that suppress
+// nothing are bugs waiting to hide the next real finding.
+func TestStaleAllowlistFailsRun(t *testing.T) {
+	root := writeModule(t, map[string]string{"internal/p/p.go": `package p
+func F() int { return 1 }
+`})
+	var out, errw bytes.Buffer
+	code := run(&out, &errw, []string{root})
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stale allowlist):\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "stale allowlist entr") ||
+		!strings.Contains(out.String(), "-prune-allowlist") {
+		t.Fatalf("stale summary missing:\n%s", out.String())
+	}
+
+	// -prune-allowlist prints one removal hint per stale entry.
+	out.Reset()
+	if code := run(&out, &errw, []string{"-prune-allowlist", root}); code != 1 {
+		t.Fatalf("-prune-allowlist exit = %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "stale allowlist entry: rule=") {
+		t.Fatalf("-prune-allowlist output lacks removal hints:\n%s", out.String())
+	}
+}
+
+// TestPruneAllowlistTightOnRepo: against the real repository every entry
+// matches a live finding, so prune mode reports a tight allowlist and exits 0.
+func TestPruneAllowlistTightOnRepo(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(&out, &errw, []string{"-prune-allowlist", "../.."}); code != 0 {
+		t.Fatalf("repo prune exit = %d:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "allowlist is tight") {
+		t.Fatalf("expected tight-allowlist confirmation:\n%s", out.String())
 	}
 }

@@ -62,22 +62,67 @@ func Analyzers() []*Analyzer {
 		ErrWrap(),
 		GuardDiscipline(),
 		InferencePurity(),
+		AllocDiscipline(),
+		LockOrder(),
+		CtxFlow(),
 	}
+}
+
+// Suppressed pairs an allowlisted finding with the entry's Reason, so tools
+// (loam-vet -json) can show what was waived and why.
+type Suppressed struct {
+	Finding Finding
+	Reason  string
+}
+
+// Report is the full result of one suite run: surviving findings, the
+// findings the allowlist absorbed, and the allowlist entries that matched
+// nothing — stale suppressions are bugs waiting to hide the next real
+// finding, so loam-vet fails on them.
+type Report struct {
+	Findings   []Finding
+	Suppressed []Suppressed
+	Stale      []AllowEntry
+}
+
+// Run executes the analyzers, filters through the allowlist, and tracks
+// which entries fired. Findings and suppressions come back sorted.
+func Run(prog *Program, analyzers []*Analyzer, allow []AllowEntry) Report {
+	var rep Report
+	matched := make([]bool, len(allow))
+	for _, a := range analyzers {
+		for _, f := range a.Run(prog) {
+			if i, ok := AllowedBy(allow, f); ok {
+				matched[i] = true
+				rep.Suppressed = append(rep.Suppressed, Suppressed{Finding: f, Reason: allow[i].Reason})
+			} else {
+				rep.Findings = append(rep.Findings, f)
+			}
+		}
+	}
+	for i, e := range allow {
+		if !matched[i] {
+			rep.Stale = append(rep.Stale, e)
+		}
+	}
+	SortFindings(rep.Findings)
+	sort.Slice(rep.Suppressed, func(i, j int) bool {
+		a, b := rep.Suppressed[i].Finding, rep.Suppressed[j].Finding
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return rep
 }
 
 // RunAll runs the given analyzers and filters the findings through the
 // allowlist, returning the surviving findings sorted by position.
 func RunAll(prog *Program, analyzers []*Analyzer, allow []AllowEntry) []Finding {
-	var out []Finding
-	for _, a := range analyzers {
-		for _, f := range a.Run(prog) {
-			if !Allowed(allow, f) {
-				out = append(out, f)
-			}
-		}
-	}
-	SortFindings(out)
-	return out
+	return Run(prog, analyzers, allow).Findings
 }
 
 // SortFindings orders findings by file, line, then rule, so output is stable

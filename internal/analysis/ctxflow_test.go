@@ -1,0 +1,94 @@
+package analysis
+
+import "testing"
+
+// TestCtxFlowFreshRoots: context.Background()/TODO() fire in library code and
+// stay silent in package main and the walltime boundary.
+func TestCtxFlowFreshRoots(t *testing.T) {
+	prog := fixture(t, map[string]string{
+		"internal/p/p.go": `package p
+
+import "context"
+
+func Go() context.Context {
+	return context.Background()
+}
+
+func Later() context.Context {
+	return context.TODO()
+}
+`,
+		"cmd/tool/main.go": `package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}
+`,
+		"internal/walltime/w.go": `package walltime
+
+import "context"
+
+func Root() context.Context {
+	return context.Background()
+}
+`,
+	})
+	got := runOne(prog, CtxFlow())
+	wantFindings(t, got, [][2]string{
+		{"ctxflow", "context.Background creates a fresh root context in library code (in Go)"},
+		{"ctxflow", "context.TODO creates a fresh root context in library code (in Later)"},
+	})
+}
+
+// TestCtxFlowDroppedContext: a function holding a ctx parameter must thread
+// it (or a derived context) into every ctx-aware callee.
+func TestCtxFlowDroppedContext(t *testing.T) {
+	prog := fixture(t, map[string]string{"internal/p/p.go": `package p
+
+import "context"
+
+var base = context.Background()
+
+func inner(ctx context.Context) error { return nil }
+
+func Drops(ctx context.Context) error {
+	return inner(base)
+}
+
+func Threads(ctx context.Context) error {
+	return inner(ctx)
+}
+
+func Derives(ctx context.Context) error {
+	c2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return inner(c2)
+}
+`})
+	got := runOne(prog, CtxFlow())
+	wantFindings(t, got, [][2]string{
+		{"ctxflow", `inner receives a context not derived from "ctx": the caller's deadline is dropped (in Drops)`},
+	})
+}
+
+// TestCtxFlowBlankParamExempt: discarding the context by naming it "_" is an
+// explicit choice; the threading rule does not apply.
+func TestCtxFlowBlankParamExempt(t *testing.T) {
+	prog := fixture(t, map[string]string{"internal/p/p.go": `package p
+
+import "context"
+
+var base = context.Background()
+
+func inner(ctx context.Context) error { return nil }
+
+func Ignores(_ context.Context) error {
+	return inner(base)
+}
+`})
+	if got := runOne(prog, CtxFlow()); len(got) != 0 {
+		t.Fatalf("blank ctx param fired %d finding(s):\n%s", len(got), renderFindings(got))
+	}
+}

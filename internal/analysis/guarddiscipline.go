@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 	"path"
 	"strings"
 )
@@ -22,6 +23,11 @@ import (
 // lifecycle manager (a file named lifecycle.go) desynchronizes the guard's
 // scorer from the deployment's predictor pointer — the swap must pair both
 // writes, reset the sentinel, and account the quarantine release.
+//
+// With type information available, the analyzer also flags method *values*:
+// `f := p.SelectPlanKeyed` smuggles the raw entry point past the call-site
+// scan and hands it to code that may invoke it anywhere — the exact false
+// negative the syntactic matcher had.
 func GuardDiscipline() *Analyzer {
 	return &Analyzer{
 		Name: "guarddiscipline",
@@ -42,6 +48,18 @@ func runGuardDiscipline(prog *Program) []Finding {
 		if guardExempt(pkg.ImportPath) {
 			return
 		}
+		// Selector expressions in call position, so the method-value pass
+		// below doesn't double-report every direct call.
+		callFuns := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					callFuns[sel] = true
+				}
+			}
+			return true
+		})
+		out = append(out, guardMethodValues(prog, pkg, f, callFuns)...)
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -87,4 +105,48 @@ func guardExempt(importPath string) bool {
 		}
 	}
 	return false
+}
+
+// guardMethodValues flags references to the raw scoring entry points taken
+// as method values (not in call position). Typed-only: without resolution a
+// bare selector cannot be distinguished from an unrelated field access.
+func guardMethodValues(prog *Program, pkg *Package, f *File, callFuns map[*ast.SelectorExpr]bool) []Finding {
+	ti := prog.Typed(pkg)
+	if ti == nil {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || callFuns[sel] {
+			return true
+		}
+		fn, ok := ti.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || recvNamed(fn) == nil {
+			return true
+		}
+		switch fn.Name() {
+		case "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed":
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(sel.Pos()),
+				Rule: "guarddiscipline",
+				Message: fmt.Sprintf("method value %s.%s smuggles the raw scoring entry point past the serving guard",
+					exprString(sel.X), fn.Name()),
+				Suggestion: "pass the guard (or a closure over guard.Serve/ScoreLearned) instead of the raw method",
+			})
+		case "SwapScorer":
+			if path.Base(f.Path) == "lifecycle.go" {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(sel.Pos()),
+				Rule: "guarddiscipline",
+				Message: fmt.Sprintf("method value %s.SwapScorer escapes the lifecycle seam: the swap must stay paired with the predictor store",
+					exprString(sel.X)),
+				Suggestion: "keep SwapScorer invocations inside lifecycle.go's promote/rollback",
+			})
+		}
+		return true
+	})
+	return out
 }

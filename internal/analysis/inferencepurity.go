@@ -19,11 +19,16 @@ import (
 // Scope:
 //   - internal/guard: the whole package. The guard wraps a trained model and
 //     has no business touching autograd anywhere.
-//   - internal/predictor: every function name-reachable from the serving
-//     roots PredictCost, SelectPlan, SelectPlanParallel and SelectPlanKeyed.
-//     The call graph is syntactic (callee names, no type resolution), which
-//     over-approximates reachability — the safe direction for a purity rule.
-//     Training entry points (Train and friends) stay free to use autograd.
+//   - internal/predictor: every function reachable from the serving roots
+//     PredictCost, SelectPlan, SelectPlanParallel and SelectPlanKeyed
+//     through the typed call graph (callgraph.go) — static calls, interface
+//     dispatch resolved via types.Implements, method/function values, and a
+//     name fallback where the checker has no answer. Before the typed
+//     engine, reachability was per-package callee-name matching, which
+//     missed calls through stored function values and cross-package
+//     round-trips; the graph closes those false negatives and still
+//     over-approximates — the safe direction for a purity rule. Training
+//     entry points (Train and friends) stay free to use autograd.
 //
 // Test files are exempt as everywhere else in the suite.
 func InferencePurity() *Analyzer {
@@ -35,67 +40,32 @@ func InferencePurity() *Analyzer {
 }
 
 // inferenceRoots are the predictor's serving entry points; everything they
-// reach (by callee name) is serving-path code.
+// reach is serving-path code.
 var inferenceRoots = []string{"PredictCost", "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed"}
 
 func runInferencePurity(prog *Program) []Finding {
-	var out []Finding
-	prog.eachSourceFile(func(pkg *Package, f *File) {
-		switch {
-		case strings.HasSuffix(pkg.ImportPath, "/internal/guard"):
-			for _, fn := range fileFuncs(f) {
-				out = append(out, purityViolations(prog, f, fn)...)
-			}
-		case strings.HasSuffix(pkg.ImportPath, "/internal/predictor"):
-			reach := servingReachable(pkg)
-			for _, fn := range fileFuncs(f) {
-				if reach[fn.Decl.Name.Name] {
-					out = append(out, purityViolations(prog, f, fn)...)
-				}
-			}
-		}
-	})
-	return out
-}
+	cg := prog.BuildCallGraph()
+	var specs []RootSpec
+	for _, name := range inferenceRoots {
+		specs = append(specs, RootSpec{PkgSuffix: "internal/predictor", Name: name})
+	}
+	reach, _ := cg.ReachableFrom(cg.Roots(specs))
 
-// servingReachable computes the set of function/method names in pkg
-// reachable from the serving roots through the package's own call sites.
-// Name-based: a call `x.f()` or `f()` marks every declaration named f.
-func servingReachable(pkg *Package) map[string]bool {
-	callees := map[string][]string{}
-	for _, f := range pkg.Files {
-		if f.Test {
+	var out []Finding
+	for _, node := range cg.Nodes {
+		switch {
+		case strings.HasSuffix(node.Pkg.ImportPath, "/internal/guard"):
+			// whole package in scope
+		case strings.HasSuffix(node.Pkg.ImportPath, "/internal/predictor"):
+			if !reach[node] {
+				continue
+			}
+		default:
 			continue
 		}
-		for _, fn := range fileFuncs(f) {
-			name := fn.Decl.Name.Name
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				switch fun := call.Fun.(type) {
-				case *ast.Ident:
-					callees[name] = append(callees[name], fun.Name)
-				case *ast.SelectorExpr:
-					callees[name] = append(callees[name], fun.Sel.Name)
-				}
-				return true
-			})
-		}
+		out = append(out, purityViolations(prog, node.File, funcInfo{Decl: node.Decl, Body: node.Decl.Body})...)
 	}
-	reach := map[string]bool{}
-	queue := append([]string(nil), inferenceRoots...)
-	for len(queue) > 0 {
-		name := queue[0]
-		queue = queue[1:]
-		if reach[name] {
-			continue
-		}
-		reach[name] = true
-		queue = append(queue, callees[name]...)
-	}
-	return reach
+	return out
 }
 
 // purityViolations flags nn.Param construction and .Backward() calls in one

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // File is one parsed source file.
@@ -60,6 +61,13 @@ type Program struct {
 	// fieldTypes maps a struct field name to its named type "pkg.Type" when
 	// the field is declared as T, *T, pkg.T or *pkg.T.
 	fieldTypes map[string]string
+
+	// Typed-engine state (typed.go, callgraph.go), built lazily and memoized.
+	typedMu  sync.Mutex
+	typed    map[string]*TypeInfo
+	typedErr error
+	cgMu     sync.Mutex
+	cg       *CallGraph
 }
 
 // LoadProgram parses every .go file under root (the module root, containing

@@ -1,0 +1,215 @@
+package analysis
+
+import "testing"
+
+// TestLockOrderCycle is the fail-before/pass-after pair ISSUE.md asks for:
+// two components taking each other's locks in opposite orders is a latent
+// deadlock; a single global order is clean.
+func TestLockOrderCycle(t *testing.T) {
+	cyclic := map[string]string{"internal/p/p.go": `package p
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+func (a *A) One() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (b *B) Two() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+`}
+	got := runOne(fixture(t, cyclic), LockOrder())
+	wantFindings(t, got, [][2]string{
+		{"lockorder", "lock-order cycle:"},
+	})
+
+	// Same two locks, single acquisition order everywhere: clean.
+	ordered := map[string]string{"internal/p/p.go": `package p
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+func (a *A) One() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (b *B) Two() {
+	b.a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.a.mu.Unlock()
+}
+`}
+	if got := runOne(fixture(t, ordered), LockOrder()); len(got) != 0 {
+		t.Fatalf("consistent order fired %d finding(s):\n%s", len(got), renderFindings(got))
+	}
+}
+
+// TestLockOrderTransitiveCycle: one leg of the cycle runs through a callee's
+// acquisition summary (A held while calling a function that locks B), not a
+// directly nested Lock — the static-call-graph propagation must still see it.
+func TestLockOrderTransitiveCycle(t *testing.T) {
+	prog := fixture(t, map[string]string{"internal/p/p.go": `package p
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func (a *A) One() {
+	a.mu.Lock()
+	lockB(a.b)
+	a.mu.Unlock()
+}
+
+func (b *B) Two() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+`})
+	got := runOne(prog, LockOrder())
+	wantFindings(t, got, [][2]string{
+		{"lockorder", "lock-order cycle:"},
+	})
+}
+
+// TestLockOrderHookUnderLock: invoking a func-typed struct field while
+// holding a lock fires; the copy-release-invoke idiom (guard.observeLearned)
+// is the sanctioned rewrite and stays silent.
+func TestLockOrderHookUnderLock(t *testing.T) {
+	under := map[string]string{"internal/p/p.go": `package p
+
+import "sync"
+
+type G struct {
+	mu   sync.Mutex
+	hook func(int)
+}
+
+func (g *G) Fire(x int) {
+	g.mu.Lock()
+	g.hook(x)
+	g.mu.Unlock()
+}
+`}
+	got := runOne(fixture(t, under), LockOrder())
+	wantFindings(t, got, [][2]string{
+		{"lockorder", `hook field "hook" invoked while holding`},
+	})
+
+	released := map[string]string{"internal/p/p.go": `package p
+
+import "sync"
+
+type G struct {
+	mu   sync.Mutex
+	hook func(int)
+}
+
+func (g *G) Fire(x int) {
+	g.mu.Lock()
+	h := g.hook
+	g.mu.Unlock()
+	if h != nil {
+		h(x)
+	}
+}
+`}
+	if got := runOne(fixture(t, released), LockOrder()); len(got) != 0 {
+		t.Fatalf("copy-release-invoke fired %d finding(s):\n%s", len(got), renderFindings(got))
+	}
+}
+
+// TestLockOrderCallbackParamUnderLock: a func-typed parameter is arbitrary
+// caller code; invoking it under a lock is the re-entrant deadlock seam.
+func TestLockOrderCallbackParamUnderLock(t *testing.T) {
+	prog := fixture(t, map[string]string{"internal/p/p.go": `package p
+
+import "sync"
+
+type C struct {
+	mu sync.Mutex
+}
+
+func (c *C) With(f func()) {
+	c.mu.Lock()
+	f()
+	c.mu.Unlock()
+}
+`})
+	got := runOne(prog, LockOrder())
+	wantFindings(t, got, [][2]string{
+		{"lockorder", `callback parameter "f" invoked while holding`},
+	})
+}
+
+// TestLockOrderDeferHoldsToEnd: a deferred Unlock keeps the lock held for the
+// rest of the function, so a later nested acquisition still records an edge —
+// but an edge alone (no reverse order anywhere) is not a finding.
+func TestLockOrderDeferHoldsToEnd(t *testing.T) {
+	prog := fixture(t, map[string]string{"internal/p/p.go": `package p
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+func (a *A) Held() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+}
+`})
+	if got := runOne(prog, LockOrder()); len(got) != 0 {
+		t.Fatalf("acyclic nested acquisition fired %d finding(s):\n%s", len(got), renderFindings(got))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -23,6 +24,11 @@ import (
 //
 // Suppressed when the enclosing function guards one of the compared
 // expressions with math.IsNaN — that is precisely the vetted-argmin shape.
+//
+// With type information, the name heuristic gets two refinements: operands
+// the checker proves non-float are skipped (an integer "costCount" cannot be
+// NaN), and typed constants count as literals (a comparison against a named
+// threshold like maxCost fails closed exactly like a literal one).
 func NaNSafety() *Analyzer {
 	return &Analyzer{
 		Name: "nansafety",
@@ -34,6 +40,10 @@ func NaNSafety() *Analyzer {
 func runNaNSafety(prog *Program) []Finding {
 	var out []Finding
 	prog.eachSourceFile(func(pkg *Package, f *File) {
+		var info *types.Info
+		if ti := prog.Typed(pkg); ti != nil {
+			info = ti.Info
+		}
 		for _, fn := range fileFuncs(f) {
 			guardedExprs := isNaNGuards(f, fn)
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -42,10 +52,14 @@ func runNaNSafety(prog *Program) []Finding {
 					if !isCompare(v.Op) {
 						return true
 					}
-					if isLiteralish(v.X) || isLiteralish(v.Y) {
+					if isLiteralish(v.X) || isLiteralish(v.Y) ||
+						typedConst(info, v.X) || typedConst(info, v.Y) {
 						return true
 					}
 					if !costLike(v.X) && !costLike(v.Y) {
+						return true
+					}
+					if provedNonFloat(info, v.X) && provedNonFloat(info, v.Y) {
 						return true
 					}
 					if guardedExprs[exprString(v.X)] || guardedExprs[exprString(v.Y)] {
@@ -67,7 +81,7 @@ func runNaNSafety(prog *Program) []Finding {
 						return true
 					}
 					for _, arg := range v.Args {
-						if costLike(arg) && !isLiteralish(arg) {
+						if costLike(arg) && !isLiteralish(arg) && !typedConst(info, arg) {
 							out = append(out, Finding{
 								Pos:  prog.Fset.Position(v.Pos()),
 								Rule: "nansafety",
@@ -151,6 +165,30 @@ func isCompare(op token.Token) bool {
 		return true
 	}
 	return false
+}
+
+// typedConst reports whether the checker evaluated e to a constant — named
+// thresholds (maxCost) fail closed under NaN just like literal ones.
+func typedConst(info *types.Info, e ast.Expr) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// provedNonFloat reports whether the checker proves e is not float-typed —
+// integer or string operands cannot hold a NaN, whatever their name says.
+func provedNonFloat(info *types.Info, e ast.Expr) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex|types.IsUntyped) == 0
 }
 
 // isLiteralish reports pure-constant operands (0, 1e9, -1): comparisons

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunReport: Run returns the full report — suppressed findings keep their
+// allowlist Reason, and entries that match nothing are surfaced as Stale so
+// the CLI can fail the build on them.
+func TestRunReport(t *testing.T) {
+	prog := fixture(t, map[string]string{"internal/p/p.go": `package p
+import "math/rand"
+func Roll() int { return rand.Intn(6) }
+`})
+	allow := []AllowEntry{
+		{Rule: "determinism", PathPrefix: "internal/p/", Reason: "fixture exception"},
+		{Rule: "determinism", PathPrefix: "internal/q/", Reason: "matches nothing"},
+	}
+	rep := Run(prog, []*Analyzer{Determinism()}, allow)
+	if len(rep.Findings) != 0 {
+		t.Fatalf("all findings should be suppressed:\n%s", renderFindings(rep.Findings))
+	}
+	if len(rep.Suppressed) == 0 {
+		t.Fatal("suppressed findings missing from the report")
+	}
+	for _, s := range rep.Suppressed {
+		if s.Reason != "fixture exception" {
+			t.Errorf("suppressed finding carries reason %q, want the matching entry's", s.Reason)
+		}
+	}
+	if len(rep.Stale) != 1 || rep.Stale[0].PathPrefix != "internal/q/" {
+		t.Fatalf("Stale = %+v, want exactly the internal/q/ entry", rep.Stale)
+	}
+}
+
+// TestRunReportTightAllowlist: when every entry matches, Stale is empty.
+func TestRunReportTightAllowlist(t *testing.T) {
+	prog := fixture(t, map[string]string{"internal/p/p.go": `package p
+import "math/rand"
+func Roll() int { return rand.Intn(6) }
+`})
+	allow := []AllowEntry{{Rule: "determinism", PathPrefix: "internal/p/", Reason: "fixture exception"}}
+	rep := Run(prog, []*Analyzer{Determinism()}, allow)
+	if len(rep.Stale) != 0 {
+		t.Fatalf("Stale = %+v, want empty", rep.Stale)
+	}
+}
+
+// TestAllowedBy: the index returned is the first matching entry's, and
+// reason-less entries never match (they cannot feed stale tracking either).
+func TestAllowedBy(t *testing.T) {
+	f := Finding{Rule: "allocdiscipline", Message: "make allocates in helper"}
+	f.Pos.Filename = "internal/x/x.go"
+	allow := []AllowEntry{
+		{Rule: "allocdiscipline", PathPrefix: "internal/x/"},
+		{Rule: "allocdiscipline", PathPrefix: "internal/x/", Reason: "ok"},
+	}
+	idx, ok := AllowedBy(allow, f)
+	if !ok || idx != 1 {
+		t.Fatalf("AllowedBy = (%d, %v), want (1, true): entry 0 has no Reason", idx, ok)
+	}
+	if _, ok := AllowedBy(allow, Finding{Rule: "ctxflow"}); ok {
+		t.Fatal("rule mismatch must not match")
+	}
+}
+
+// TestSuppressedOrdering: the report's suppressed list is sorted like the
+// findings list, so -json output is stable.
+func TestSuppressedOrdering(t *testing.T) {
+	prog := fixture(t, map[string]string{
+		"internal/p/b.go": `package p
+import "math/rand"
+func B() int { return rand.Intn(6) }
+`,
+		"internal/p/a.go": `package p
+import "math/rand"
+func A() int { return rand.Intn(6) }
+`,
+	})
+	allow := []AllowEntry{{Rule: "determinism", PathPrefix: "internal/p/", Reason: "fixture"}}
+	rep := Run(prog, []*Analyzer{Determinism()}, allow)
+	for i := 1; i < len(rep.Suppressed); i++ {
+		a, b := rep.Suppressed[i-1].Finding, rep.Suppressed[i].Finding
+		if a.Pos.Filename > b.Pos.Filename {
+			t.Fatalf("suppressed not sorted: %s after %s", a.Pos.Filename, b.Pos.Filename)
+		}
+	}
+	if len(rep.Suppressed) < 2 || !strings.HasSuffix(rep.Suppressed[0].Finding.Pos.Filename, "a.go") {
+		t.Fatalf("want a.go first in %d suppressed findings", len(rep.Suppressed))
+	}
+}

@@ -31,11 +31,18 @@ type EnvKey struct {
 	Keyed bool
 }
 
+// Domain-separation tags hashed into EnvKeys. Package-level arrays so key
+// construction stays allocation-free on the keyed serving path.
+var (
+	fixedEnvTag = [1]byte{1}
+	noEnvTag    = [1]byte{2}
+)
+
 // FixedEnvKey returns the key identifying FixedEnv(env).
 func FixedEnvKey(env [4]float64) EnvKey {
 	h := fnv.New64a()
 	var buf [8]byte
-	_, _ = h.Write([]byte{1}) // domain tag: fixed env
+	_, _ = h.Write(fixedEnvTag[:])
 	for _, v := range env {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		_, _ = h.Write(buf[:])
@@ -46,7 +53,7 @@ func FixedEnvKey(env [4]float64) EnvKey {
 // NoEnvKey returns the key identifying NoEnv().
 func NoEnvKey() EnvKey {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte{2}) // domain tag: environment unobserved
+	_, _ = h.Write(noEnvTag[:])
 	return EnvKey{Sum: h.Sum64(), Keyed: true}
 }
 

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// These are the regression tests for the ctxflow findings fixed in this
+// change: Perf and Serve used to root a fresh context.Background()
+// internally, so a caller's deadline or cancellation never reached
+// OptimizeBatch. Both must now surface context.Canceled from a canceled
+// caller context.
+
+func TestServeHonorsCancellation(t *testing.T) {
+	env := tinyEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := env.Serve(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Serve(canceled ctx) err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPerfHonorsCancellation(t *testing.T) {
+	env := tinyEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := env.Perf(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Perf(canceled ctx) err = %v, want context.Canceled", err)
+	}
+}

@@ -73,7 +73,9 @@ func perfMeasure(n int, f func()) (nsPerOp, allocsPerOp float64) {
 }
 
 // Perf runs the serving fast-path benchmark on the first evaluation project.
-func (e *Env) Perf() (*PerfResult, error) {
+// ctx bounds the end-to-end OptimizeBatch phase: cancellation propagates into
+// the deployment's serving path.
+func (e *Env) Perf(ctx context.Context) (*PerfResult, error) {
 	project := e.projects[0].Config.Name
 	dep, err := e.Deployment(project, LOAMVariant())
 	if err != nil {
@@ -163,7 +165,7 @@ func (e *Env) Perf() (*PerfResult, error) {
 	// at fixed parallelism levels, cache warm.
 	for _, par := range []int{1, 2, 4} {
 		sw := walltime.Start()
-		if _, err := dep.OptimizeBatch(context.Background(), qs, par); err != nil {
+		if _, err := dep.OptimizeBatch(ctx, qs, par); err != nil {
 			return nil, fmt.Errorf("perf %s (batch %d): %w", project, par, err)
 		}
 		secs := sw.Seconds()

@@ -38,7 +38,7 @@ type ServeRow struct {
 // project: train (or reuse) the default LOAM deployment, generate the test
 // window's queries, and steer them with OptimizeBatch at parallelism 1, 2, 4
 // and GOMAXPROCS.
-func (e *Env) Serve() (*ServeResult, error) {
+func (e *Env) Serve(ctx context.Context) (*ServeResult, error) {
 	project := e.projects[0].Config.Name
 	dep, err := e.Deployment(project, LOAMVariant())
 	if err != nil {
@@ -64,7 +64,7 @@ func (e *Env) Serve() (*ServeResult, error) {
 	var seqSeconds float64
 	for _, par := range levels {
 		sw := walltime.Start()
-		choices, err := dep.OptimizeBatch(context.Background(), qs, par)
+		choices, err := dep.OptimizeBatch(ctx, qs, par)
 		if err != nil {
 			return nil, fmt.Errorf("serve %s (parallelism %d): %w", project, par, err)
 		}

@@ -218,17 +218,21 @@ func GatherConcat3Into(dst Mat, x Mat, self, left, right []int) {
 	for i := range dst.Data {
 		dst.Data[i] = 0
 	}
-	gather := func(dstOff int, idx []int) {
-		for i, ix := range idx {
-			if ix < 0 {
-				continue
-			}
-			copy(dst.Data[i*dst.C+dstOff:i*dst.C+dstOff+x.C], x.Data[ix*x.C:(ix+1)*x.C])
+	gatherRows(dst, 0, x, self)
+	gatherRows(dst, x.C, x, left)
+	gatherRows(dst, 2*x.C, x, right)
+}
+
+// gatherRows copies x's rows selected by idx into dst at column offset
+// dstOff, skipping index -1. A named function rather than a closure keeps
+// GatherConcat3Into capture-free under the allocdiscipline contract.
+func gatherRows(dst Mat, dstOff int, x Mat, idx []int) {
+	for i, ix := range idx {
+		if ix < 0 {
+			continue
 		}
+		copy(dst.Data[i*dst.C+dstOff:i*dst.C+dstOff+x.C], x.Data[ix*x.C:(ix+1)*x.C])
 	}
-	gather(0, self)
-	gather(x.C, left)
-	gather(2*x.C, right)
 }
 
 // MeanRowsInto pools an n×C matrix into the C-element dst by averaging rows,
