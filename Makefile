@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-go lint lint-fix-hints lint-report chaos verify
+.PHONY: build test race bench bench-smoke bench-fleet bench-fleet-smoke bench-go lint lint-fix-hints lint-report chaos verify
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ bench: build
 # bench-smoke is the tiny-scale CI variant of bench.
 bench-smoke: build
 	$(GO) run ./cmd/loam-bench -run perf -tiny -quiet -benchout BENCH_serve.json
+
+# bench-fleet runs the multi-tenant fleet-serving experiment (10k synthetic
+# tenants + 2 real deployments, zipfian traffic, tenant-skew spike) and writes
+# the machine-readable BENCH_fleet.json.
+bench-fleet: build
+	$(GO) run ./cmd/loam-bench -run fleet -quiet -fleetout BENCH_fleet.json
+
+# bench-fleet-smoke is the tiny-scale CI variant of bench-fleet (100 tenants).
+bench-fleet-smoke: build
+	$(GO) run ./cmd/loam-bench -run fleet -tiny -quiet -fleetout BENCH_fleet.json
 
 # bench-go runs the go-test benchmark suite once through.
 bench-go:

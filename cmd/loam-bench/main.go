@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3|serve|guard|lifecycle|perf]
+//	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3|serve|guard|lifecycle|perf|fleet]
 //	           [-seed N] [-scale F] [-epochs N] [-eval N] [-tiny] [-quiet] [-metrics]
-//	           [-benchout FILE]
+//	           [-benchout FILE] [-fleetout FILE]
 //
 // Each experiment prints the same rows/series the paper reports; absolute
 // numbers come from the simulator, shapes are the reproduction target (see
@@ -35,7 +35,7 @@ func main() {
 func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("loam-bench", flag.ContinueOnError)
 	var (
-		runSpec = fs.String("run", "all", "comma-separated experiment ids (all, fig1, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig15, fig16, sec73, thm1, ext1, ext2, ext3, serve, guard, lifecycle, perf)")
+		runSpec = fs.String("run", "all", "comma-separated experiment ids (all, fig1, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig15, fig16, sec73, thm1, ext1, ext2, ext3, serve, guard, lifecycle, perf, fleet)")
 		seed    = fs.Uint64("seed", 42, "root seed for the whole simulation")
 		scale   = fs.Float64("scale", 1, "workload scale multiplier (5 ≈ paper scale)")
 		epochs  = fs.Int("epochs", 0, "override training epochs (0 = default)")
@@ -44,6 +44,7 @@ func run(args []string, out, errw io.Writer) error {
 		quiet   = fs.Bool("quiet", false, "suppress progress logging")
 		metrics = fs.Bool("metrics", false, "dump the combined telemetry snapshot after the experiments")
 		benchout = fs.String("benchout", "", "write the perf experiment's machine-readable results to this JSON file (requires -run perf)")
+		fleetout = fs.String("fleetout", "", "write the fleet experiment's machine-readable results to this JSON file (requires -run fleet)")
 	)
 	fs.SetOutput(errw)
 	if err := fs.Parse(args); err != nil {
@@ -221,6 +222,25 @@ func run(args []string, out, errw io.Writer) error {
 				return fmt.Errorf("write %s: %w", *benchout, err)
 			}
 			fmt.Fprintf(out, "wrote %s\n", *benchout)
+		}
+	}
+
+	if has("fleet") {
+		section("fleet")
+		r, err := env.FleetServe(context.Background())
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+		if *fleetout != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*fleetout, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", *fleetout, err)
+			}
+			fmt.Fprintf(out, "wrote %s\n", *fleetout)
 		}
 	}
 

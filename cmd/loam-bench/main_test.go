@@ -238,3 +238,66 @@ func TestRunLifecycleMetricsDeterministic(t *testing.T) {
 		t.Fatalf("same-seed metrics sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sec, again)
 	}
 }
+
+// TestRunFleetMetricsDeterministic is the acceptance check for multi-tenant
+// fleet serving: `-run fleet` routes zipfian traffic for the synthetic tenant
+// fleet plus two real deployments through the sharded registry, survives the
+// tenant-skew spike with 100% availability and the cache budget respected at
+// every wave boundary, the fleet.* counters render in the stable-ordered
+// metrics dump, and two identically-seeded runs print byte-identical fleet
+// and metrics sections despite parallel routing.
+func TestRunFleetMetricsDeterministic(t *testing.T) {
+	bench := func() string {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-tiny", "-quiet", "-run", "fleet", "-metrics"}, &out, &errw); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+		}
+		return out.String()
+	}
+	first := bench()
+	for _, want := range []string{
+		"==== fleet ====",
+		"availability 100.0%",
+		"warmup", "steady", "spike", "recover",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("fleet section missing %q:\n%s", want, first)
+		}
+	}
+	if strings.Contains(first, "OVER") {
+		t.Fatalf("cache budget exceeded at a wave boundary:\n%s", first)
+	}
+	sec := metricsSection(t, first)
+	for _, want := range []string{
+		"counter fleet.route.total",
+		"counter fleet.admission.admitted",
+		"counter fleet.admission.shed",
+		"counter fleet.admission.lane.recurring",
+		"counter fleet.budget.rebalances 4",
+		"counter fleet.route.errors 0",
+		"counter fleet.route.unknown_tenant 0",
+		"gauge fleet.cache.budget",
+		"gauge fleet.tenants.active",
+		"timer fleet.route.latency",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Fatalf("metrics section missing %q:\n%s", want, sec)
+		}
+	}
+	second := bench()
+	fleetSection := func(s string) string {
+		_, rest, ok := strings.Cut(s, "==== fleet ====")
+		if !ok {
+			t.Fatalf("no fleet section:\n%s", s)
+		}
+		body, _, _ := strings.Cut(rest, "====")
+		return body
+	}
+	if fleetSection(second) != fleetSection(first) {
+		t.Fatalf("same-seed fleet sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			fleetSection(first), fleetSection(second))
+	}
+	if again := metricsSection(t, second); again != sec {
+		t.Fatalf("same-seed metrics sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sec, again)
+	}
+}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,4 +54,19 @@ func main() {
 	rec := dep.ExecuteChoice(choice)
 	fmt.Printf("executed: CPU cost %.0f (latency %.0fs across %d stages)\n",
 		rec.CPUCost, rec.LatencySec, len(rec.StageCosts))
+
+	// Fleet serving: put the same deployment behind the sharded registry.
+	// Route is the multi-tenant entry point — admission control, the
+	// recurring-query lane and the global plan-cache budget all apply here.
+	reg := sim.NewFleet(loam.DefaultFleetConfig())
+	if err := reg.Register("quickstart", dep); err != nil {
+		log.Fatal(err)
+	}
+	routed, err := reg.Route(context.Background(), "quickstart", ps.Gen.Day(10)[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := reg.Budget()
+	fmt.Printf("routed: origin=%s cache %d/%d entries granted\n",
+		routed.Origin, budget.Entries, budget.Granted)
 }

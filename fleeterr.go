@@ -1,0 +1,76 @@
+package loam
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FleetError is one project's failure inside DeployAllCtx: which fleet index
+// failed, the project's name, and the underlying cause.
+type FleetError struct {
+	Index   int
+	Project string
+	Err     error
+}
+
+// Error formats the failure with its fleet position.
+func (e *FleetError) Error() string {
+	return fmt.Sprintf("fleet[%d] %s: %v", e.Index, e.Project, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *FleetError) Unwrap() error { return e.Err }
+
+// FleetErrors is DeployAllCtx's typed error surface, mirroring BatchErrors:
+// one entry per failed project, in result order. Callers can tell WHICH
+// projects failed and why without parsing message text:
+//
+//	var fe loam.FleetErrors
+//	if errors.As(err, &fe) {
+//	    for _, e := range fe { retrain(e.Index, e.Project) }
+//	}
+//
+// errors.Is sees through both levels (FleetErrors → FleetError → cause), so
+// errors.Is(err, context.Canceled) and errors.Is(err, ErrNoTrainingData)
+// work on the aggregate.
+type FleetErrors []*FleetError
+
+// Error summarizes the failures: the count plus the first few entries.
+func (es FleetErrors) Error() string {
+	const show = 3
+	parts := make([]string, 0, show+1)
+	for i, e := range es {
+		if i == show {
+			parts = append(parts, fmt.Sprintf("... and %d more", len(es)-show))
+			break
+		}
+		parts = append(parts, e.Error())
+	}
+	return fmt.Sprintf("deploy fleet: %d projects failed: %s", len(es), strings.Join(parts, "; "))
+}
+
+// Unwrap exposes every per-project failure to errors.Is / errors.As.
+func (es FleetErrors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// fleetError assembles the typed error surface from per-project results, or
+// nil when every project deployed. Result errors already carry the
+// "deploy <name>:" prefix from ProjectSim.Deploy; FleetError adds position,
+// not another copy of that prefix.
+func fleetError(results []FleetResult) error {
+	var es FleetErrors
+	for i, r := range results {
+		if r.Err != nil {
+			es = append(es, &FleetError{Index: i, Project: r.Project, Err: r.Err})
+		}
+	}
+	if len(es) == 0 {
+		return nil
+	}
+	return es
+}

@@ -164,6 +164,24 @@ func DefaultAllowlist() []AllowEntry {
 				"documented as such: it deliberately roots a fresh context and " +
 				"delegates to OptimizeCtx, which is the deadline-honoring entry point",
 		},
+		{
+			Rule:       "ctxflow",
+			PathPrefix: "fleet.go",
+			Contains:   "in DeployAll",
+			Reason: "DeployAll is the deprecated positional-signature wrapper kept " +
+				"for compatibility: it has no context parameter to thread, so it " +
+				"deliberately roots a fresh one and delegates to DeployAllCtx, the " +
+				"cancellation-honoring entry point",
+		},
+		{
+			Rule:       "ctxflow",
+			PathPrefix: "fleet.go",
+			Contains:   "in SelectAndDeploy",
+			Reason: "SelectAndDeploy is the deprecated positional-signature wrapper " +
+				"kept for compatibility: it has no context parameter to thread, so " +
+				"it deliberately roots a fresh one and delegates to DeployAllCtx, " +
+				"the cancellation-honoring entry point",
+		},
 	}
 }
 

@@ -456,6 +456,60 @@ func Serve(p *predictor.Predictor) { p.SelectPlanKeyed(nil, 0, 0) }
 	})
 }
 
+func TestGuardDisciplineFleetAdmission(t *testing.T) {
+	// Inside internal/fleet, a backend's serving ladder (OptimizeCtx) is
+	// reachable only from serveAdmitted — anything else bypasses the
+	// admission gate's token buckets.
+	t.Run("raw OptimizeCtx outside serveAdmitted is flagged", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/fleet/fleet.go": `package fleet
+import "context"
+type Backend interface {
+	OptimizeCtx(ctx context.Context, q int) (any, error)
+}
+type tenant struct{ backend Backend }
+type Registry struct{}
+func (r *Registry) Route(ctx context.Context, t *tenant, q int) (any, error) {
+	return t.backend.OptimizeCtx(ctx, q)
+}
+func (r *Registry) serveAdmitted(ctx context.Context, t *tenant, q int) (any, error) {
+	return t.backend.OptimizeCtx(ctx, q)
+}
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), [][2]string{
+			{"guarddiscipline", "t.backend.OptimizeCtx inside internal/fleet bypasses the admission gate"},
+		})
+	})
+	t.Run("method values cannot smuggle the ladder out", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/fleet/fleet.go": `package fleet
+import "context"
+type Backend interface {
+	OptimizeCtx(ctx context.Context, q int) (any, error)
+}
+func grab(b Backend) func(context.Context, int) (any, error) {
+	return b.OptimizeCtx
+}
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), [][2]string{
+			{"guarddiscipline", "b.OptimizeCtx inside internal/fleet bypasses the admission gate"},
+		})
+	})
+	t.Run("other packages may call OptimizeCtx freely", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"serve.go": `package root
+import "context"
+type dep struct{}
+func (d *dep) OptimizeCtx(ctx context.Context, q int) (any, error) { return nil, nil }
+func use(ctx context.Context, d *dep) { d.OptimizeCtx(ctx, 1) }
+`,
+		})
+		wantFindings(t, runOne(prog, GuardDiscipline()), nil)
+	})
+}
+
 func TestInferencePurity(t *testing.T) {
 	t.Run("guard package is covered everywhere", func(t *testing.T) {
 		prog := fixture(t, map[string]string{

@@ -45,6 +45,9 @@ var guardExemptSuffixes = []string{"/internal/guard", "/internal/predictor"}
 func runGuardDiscipline(prog *Program) []Finding {
 	var out []Finding
 	prog.eachSourceFile(func(pkg *Package, f *File) {
+		if strings.HasSuffix(pkg.ImportPath, "/internal/fleet") {
+			out = append(out, guardFleetAdmission(prog, f)...)
+		}
 		if guardExempt(pkg.ImportPath) {
 			return
 		}
@@ -94,6 +97,52 @@ func runGuardDiscipline(prog *Program) []Finding {
 			return true
 		})
 	})
+	return out
+}
+
+// fleetGateFunc is the one function inside internal/fleet sanctioned to reach
+// a backend's full serving ladder: the registry's exit from the admission
+// gate.
+const fleetGateFunc = "serveAdmitted"
+
+// guardFleetAdmission enforces the fleet admission gate: inside
+// internal/fleet, a backend's OptimizeCtx (or a no-context Optimize) is
+// reachable only from Registry.serveAdmitted. Any other call site — or a
+// method value that could smuggle the entry point out — bypasses the token
+// buckets, priority lanes and shed accounting entirely. Purely syntactic: the
+// rule is scoped to one package where every selector by that name IS the
+// serving ladder, so no type resolution is needed and fixture packages load
+// under the same discipline.
+func guardFleetAdmission(prog *Program, f *File) []Finding {
+	var out []Finding
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		inGate := fd.Name.Name == fleetGateFunc
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "OptimizeCtx" && name != "Optimize" {
+				return true
+			}
+			if inGate && name == "OptimizeCtx" {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  prog.Fset.Position(sel.Pos()),
+				Rule: "guarddiscipline",
+				Message: fmt.Sprintf("%s.%s inside internal/fleet bypasses the admission gate: token buckets, priority lanes and shed accounting do not apply here",
+					exprString(sel.X), name),
+				Suggestion: "route backend serving through Registry.serveAdmitted, the one sanctioned exit from the admission gate",
+			})
+			return true
+		})
+	}
 	return out
 }
 

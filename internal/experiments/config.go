@@ -36,6 +36,10 @@ type Config struct {
 	// FleetProjects is the project-fleet size for selector experiments
 	// (paper: 28–30 sampled projects).
 	FleetProjects int
+	// FleetTenants is the synthetic-tenant count for the fleet-serving
+	// experiment (the paper's deployment serves >100k projects; the
+	// experiment defaults to 10k in miniature).
+	FleetTenants int
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 }
@@ -52,6 +56,7 @@ func Default() Config {
 		EvalReps:      5,
 		WorkloadScale: 1,
 		FleetProjects: 28,
+		FleetTenants:  10_000,
 	}
 }
 
@@ -67,6 +72,7 @@ func Tiny() Config {
 		EvalReps:      3,
 		WorkloadScale: 0.4,
 		FleetProjects: 8,
+		FleetTenants:  100,
 	}
 }
 

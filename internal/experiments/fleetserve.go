@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"loam"
+	"loam/internal/faultinject"
+	"loam/internal/fleet"
+	"loam/internal/predictor"
+	"loam/internal/query"
+	"loam/internal/simrand"
+	"loam/internal/telemetry"
+	"loam/internal/walltime"
+)
+
+// FleetServeResult measures the multi-tenant fleet registry at warehouse
+// scale: FleetTenants synthetic projects plus two real LOAM deployments
+// behind one registry, serving zipfian traffic through sharded routing,
+// per-tenant admission control and the global plan-cache budget. The spike
+// wave multiplies a deterministic subset of tenants' volume (the fault
+// injector's tenant-skew fault): over-budget tenants degrade to the fallback
+// rung instead of queueing, so availability stays 100% while the budget
+// governor shifts cache toward the hot tenants.
+//
+// Everything reported is deterministic in the seed: traffic assignment is a
+// pure function of the wave RNG, admission outcomes are pure functions of
+// each tenant's own request order, and budget grants are integer arithmetic
+// in sorted tenant order — routing runs parallel across tenants, and the
+// tallies are order-independent sums.
+type FleetServeResult struct {
+	Tenants     int
+	RealTenants []string
+	Budget      int
+	Shards      int
+	// SkewedTenants is how many tenants the spike wave multiplied.
+	SkewedTenants int
+	// Availability is served choices / route calls over the whole run — the
+	// shed path still serves, so this is 1.0 by design.
+	Availability float64
+	Waves        []FleetWave
+}
+
+// FleetWave tallies one traffic wave. Counter fields are deltas of the
+// fleet.* instruments over the wave; Entries/Granted snapshot the budget
+// after the post-wave Rebalance.
+type FleetWave struct {
+	Name    string
+	Queries int64
+	// Admitted and Shed split the admission outcomes; Recurring counts the
+	// priority-lane (cache-keyed) queries among them.
+	Admitted  int64
+	Shed      int64
+	Recurring int64
+	// SynHitRate is the synthetic tenants' cache hit rate over the wave.
+	SynHitRate float64
+	// RealLearned/RealNative tally the real deployments' serving origins.
+	RealLearned int64
+	RealNative  int64
+	Errors      int64
+	// Entries and Granted are the post-rebalance budget snapshot; BudgetOK
+	// asserts Entries <= Budget and Granted <= Budget.
+	Entries  int
+	Granted  int
+	BudgetOK bool
+}
+
+// fleetWaveSpec shapes one wave: mean queries per tenant, and whether the
+// tenant-skew spike is active.
+type fleetWaveSpec struct {
+	name   string
+	volume int
+	spike  bool
+}
+
+// fleetSkewRate and fleetSkewFactor configure the spike: ~2% of tenants at
+// 4x volume, decided per-tenant by the seeded injector so the hot set is
+// identical across same-seed runs.
+const (
+	fleetSkewRate   = 0.02
+	fleetSkewFactor = 4
+)
+
+// FleetServe runs the fleet-serving experiment. Two real deployments are
+// trained (on the first two evaluation projects) and registered alongside
+// FleetTenants synthetic tenants; four waves of zipfian traffic — warmup,
+// steady, spike, recover — are routed in parallel across tenants with each
+// tenant's stream kept in order.
+func (e *Env) FleetServe(ctx context.Context) (*FleetServeResult, error) {
+	n := e.Cfg.FleetTenants
+	if n <= 0 {
+		n = 10_000
+	}
+	reg := e.Sim.NewFleet(loam.FleetConfig{
+		Shards:       16,
+		CacheBudget:  2*n + 256,
+		InitialGrant: 4,
+		Admission: loam.FleetAdmissionConfig{
+			Burst:              6,
+			RefillPerServe:     0.5,
+			RefillPerTick:      6,
+			StandardCost:       1,
+			RecurringCost:      0.25,
+			RecurringTemplates: 8,
+		},
+	})
+	res := &FleetServeResult{
+		Tenants: n,
+		Budget:  reg.Budget().Budget,
+		Shards:  reg.Registry().Config().Shards,
+	}
+
+	// Real tenants first, so they draw their initial grants before the
+	// synthetic swarm drains the pool.
+	dcfg := loam.DefaultDeployConfig()
+	dcfg.TrainDays = e.Cfg.TrainDays
+	dcfg.TestDays = e.Cfg.TestDays
+	dcfg.MaxTrain = e.Cfg.MaxTrain
+	dcfg.Predictor = e.Cfg.predictorConfig(predictor.KindTCN)
+	deps := map[string]*loam.Deployment{}
+	for _, ps := range e.projects[:2] {
+		name := ps.Config.Name
+		sw := walltime.Start()
+		dep, err := ps.Deploy(dcfg, loam.WithMetrics(e.Sim.Telemetry()))
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: %w", name, err)
+		}
+		if err := reg.Register(name, dep); err != nil {
+			return nil, fmt.Errorf("fleet %s: %w", name, err)
+		}
+		deps[name] = dep
+		res.RealTenants = append(res.RealTenants, name)
+		e.Cfg.logf("fleet: trained + registered %s (%.1fs)", name, sw.Seconds())
+	}
+
+	sw := walltime.Start()
+	synNames := make([]string, n)
+	for i := 0; i < n; i++ {
+		synNames[i] = fmt.Sprintf("synth%05d", i)
+		syn := fleet.NewSyntheticTenant(synNames[i], e.Sim.Telemetry())
+		if err := reg.RegisterBackend(synNames[i], syn); err != nil {
+			return nil, fmt.Errorf("fleet %s: %w", synNames[i], err)
+		}
+	}
+	e.Cfg.logf("fleet: registered %d synthetic tenants (%.1fs)", n, sw.Seconds())
+
+	// The tenant-skew fault decides the spike's hot set: a pure function of
+	// (seed, "tenantskew", tenant name).
+	inj := faultinject.New(e.Cfg.Seed, faultinject.Config{
+		TenantSkewRate:   fleetSkewRate,
+		TenantSkewFactor: fleetSkewFactor,
+	})
+	for _, name := range synNames {
+		if inj.TenantSkew(name) {
+			res.SkewedTenants++
+		}
+	}
+
+	waves := []fleetWaveSpec{
+		{"warmup", 2, false},
+		{"steady", 3, false},
+		{"spike", 3, true},
+		{"recover", 3, false},
+	}
+	var totalRoutes, totalServed int64
+	for w, spec := range waves {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sw := walltime.Start()
+		traffic := e.fleetWaveTraffic(w, spec, synNames, res.RealTenants, inj)
+		before := fleetCounts(e.Sim.Telemetry())
+		tally, err := routeFleetWave(ctx, reg, traffic)
+		if err != nil {
+			return nil, err
+		}
+		reg.Tick()
+		reg.Rebalance()
+		st := reg.Budget()
+
+		after := fleetCounts(e.Sim.Telemetry())
+		wave := FleetWave{
+			Name:        spec.name,
+			Queries:     after[0] - before[0],
+			Admitted:    after[1] - before[1],
+			Shed:        after[2] - before[2],
+			Recurring:   after[3] - before[3],
+			RealLearned: tally.realLearned,
+			RealNative:  tally.realNative,
+			Errors:      tally.errors,
+			Entries:     st.Entries,
+			Granted:     st.Granted,
+			BudgetOK:    st.Entries <= st.Budget && st.Granted <= st.Budget,
+		}
+		hits, misses := after[4]-before[4], after[5]-before[5]
+		if hits+misses > 0 {
+			wave.SynHitRate = float64(hits) / float64(hits+misses)
+		}
+		totalRoutes += wave.Queries
+		totalServed += tally.served
+		res.Waves = append(res.Waves, wave)
+		e.Cfg.logf("fleet: wave %s routed %d queries (%d shed, %d cache entries) in %.1fs",
+			spec.name, wave.Queries, wave.Shed, wave.Entries, sw.Seconds())
+	}
+	if totalRoutes > 0 {
+		res.Availability = float64(totalServed) / float64(totalRoutes)
+	}
+	return res, nil
+}
+
+// fleetWaveTraffic builds one wave's per-tenant query streams: volume×n
+// zipfian draws over the synthetic tenants (template mix drawn from the same
+// wave RNG), a day of generated queries for each real deployment, and — on a
+// spike wave — the skewed tenants' streams replicated SkewFactor times.
+// Generation is sequential and deterministic; only routing runs in parallel.
+func (e *Env) fleetWaveTraffic(w int, spec fleetWaveSpec, synNames, realNames []string, inj *faultinject.Injector) map[string][]*query.Query {
+	rng := simrand.New(e.Cfg.Seed).Derive("fleetserve").DeriveN("wave", w)
+	zipf := simrand.NewZipf(rng.Derive("zipf"), 1.1, len(synNames))
+	traffic := make(map[string][]*query.Query, len(synNames)+len(realNames))
+	draws := spec.volume * len(synNames)
+	for k := 0; k < draws; k++ {
+		name := synNames[zipf.Draw()]
+		traffic[name] = append(traffic[name], &query.Query{
+			ID:         fmt.Sprintf("%s-w%d-%d", name, w, len(traffic[name])),
+			TemplateID: fmt.Sprintf("t%02d", rng.Intn(16)),
+			Day:        w,
+		})
+	}
+	// Real tenants serve one generated day per wave, past the training
+	// horizon so the queries are fresh. Day generation derives a per-day RNG,
+	// so the stream does not depend on which experiments ran before.
+	day := e.Cfg.TrainDays + e.Cfg.TestDays + w
+	for _, name := range realNames {
+		traffic[name] = append(traffic[name], e.Project(name).Gen.Day(day)...)
+	}
+	if spec.spike {
+		for _, name := range append(append([]string{}, synNames...), realNames...) {
+			qs := traffic[name]
+			if len(qs) == 0 || !inj.TenantSkew(name) {
+				continue
+			}
+			spiked := make([]*query.Query, 0, fleetSkewFactor*len(qs))
+			for r := 0; r < int(inj.SkewFactor()); r++ {
+				spiked = append(spiked, qs...)
+			}
+			traffic[name] = spiked
+		}
+	}
+	return traffic
+}
+
+// fleetTally accumulates order-independent routing outcomes for one wave.
+type fleetTally struct {
+	served      int64
+	errors      int64
+	realLearned int64
+	realNative  int64
+}
+
+// routeFleetWave routes one wave: tenants fan out across a worker pool, each
+// tenant's stream stays in order on one worker — the registry's determinism
+// contract — and per-tenant tallies are summed (order-independent ints).
+func routeFleetWave(ctx context.Context, reg *loam.FleetRegistry, traffic map[string][]*query.Query) (fleetTally, error) {
+	names := make([]string, 0, len(traffic))
+	for name := range traffic {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	const workers = 8
+	jobs := make(chan string)
+	out := make(chan fleetTally)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range jobs {
+				var t fleetTally
+				for _, q := range traffic[name] {
+					res, err := reg.Registry().Route(ctx, name, q)
+					if err != nil {
+						t.errors++
+						continue
+					}
+					switch c := res.(type) {
+					case *fleet.SyntheticChoice:
+						t.served++
+					case *loam.Choice:
+						t.served++
+						if c.Origin == loam.OriginLearned {
+							t.realLearned++
+						} else {
+							t.realNative++
+						}
+					default:
+						t.errors++
+					}
+				}
+				out <- t
+			}
+		}()
+	}
+	go func() {
+		for _, name := range names {
+			jobs <- name
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	var total fleetTally
+	for t := range out {
+		total.served += t.served
+		total.errors += t.errors
+		total.realLearned += t.realLearned
+		total.realNative += t.realNative
+	}
+	if err := ctx.Err(); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// fleetCounts reads the wave-delta instruments: route total, admitted, shed,
+// recurring lane, synthetic cache hits and misses.
+func fleetCounts(reg *telemetry.Registry) [6]int64 {
+	return [6]int64{
+		reg.Counter("fleet.route.total").Value(),
+		reg.Counter("fleet.admission.admitted").Value(),
+		reg.Counter("fleet.admission.shed").Value(),
+		reg.Counter("fleet.admission.lane.recurring").Value(),
+		reg.Counter("fleet.synthetic.cache.hits").Value(),
+		reg.Counter("fleet.synthetic.cache.misses").Value(),
+	}
+}
+
+// Render prints the wave table.
+func (r *FleetServeResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fleet serving at scale — %d tenants (%d real: %v), %d shards, cache budget %d, %d skewed on spike, availability %.1f%%\n",
+		r.Tenants+len(r.RealTenants), len(r.RealTenants), r.RealTenants,
+		r.Shards, r.Budget, r.SkewedTenants, r.Availability*100)
+	fmt.Fprintf(w, "%-9s %9s %9s %8s %9s %8s %7s %7s %7s %8s %6s\n",
+		"wave", "queries", "admitted", "shed", "recurring", "synhit%", "realL", "realN", "entries", "granted", "budget")
+	for _, wv := range r.Waves {
+		ok := "ok"
+		if !wv.BudgetOK {
+			ok = "OVER"
+		}
+		fmt.Fprintf(w, "%-9s %9d %9d %8d %9d %7.1f%% %7d %7d %7d %8d %6s\n",
+			wv.Name, wv.Queries, wv.Admitted, wv.Shed, wv.Recurring,
+			wv.SynHitRate*100, wv.RealLearned, wv.RealNative,
+			wv.Entries, wv.Granted, ok)
+	}
+}

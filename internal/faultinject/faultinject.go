@@ -55,6 +55,14 @@ type Config struct {
 	// starts — the mid-promote crash scenario. The incumbent model must keep
 	// serving (or keep its quarantine fallback) when this fires.
 	RetrainFailRate float64
+	// TenantSkewRate selects which tenants a fleet-level load spike lands
+	// on: each tenant ID rolls once, so a spike wave multiplies the selected
+	// tenants' traffic by TenantSkewFactor while the rest stay flat — the
+	// multi-tenant hotspot scenario the admission gate must absorb.
+	TenantSkewRate float64
+	// TenantSkewFactor is the traffic multiplier for skewed tenants
+	// (values <= 1 leave volumes unchanged).
+	TenantSkewFactor float64
 }
 
 // Injector decides, per query, which faults to force. The zero of *Injector
@@ -139,6 +147,24 @@ func (i *Injector) NativeFail(id string) bool {
 // of (seed, attempt) — independent of when during serving the retrain fires.
 func (i *Injector) RetrainFail(id string) bool {
 	return i.roll("retrain", id, i.Config().RetrainFailRate)
+}
+
+// TenantSkew reports whether a fleet load spike lands on this tenant. Like
+// every other decision it is a pure function of (seed, "tenantskew", id):
+// the same tenants spike in every same-seed run regardless of registration
+// or serving order.
+func (i *Injector) TenantSkew(id string) bool {
+	return i.roll("tenantskew", id, i.Config().TenantSkewRate)
+}
+
+// SkewFactor returns the traffic multiplier for skewed tenants, clamped to a
+// minimum of 1 so a zero-value config never shrinks traffic.
+func (i *Injector) SkewFactor() float64 {
+	f := i.Config().TenantSkewFactor
+	if f < 1 {
+		return 1
+	}
+	return f
 }
 
 // LoadSpike decides a load spike for this query and, when a cluster is

@@ -1,0 +1,448 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"loam/internal/query"
+	"loam/internal/telemetry"
+)
+
+func testConfig(reg *telemetry.Registry) Config {
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	cfg.CacheBudget = 64
+	cfg.InitialGrant = 8
+	cfg.Admission = AdmissionConfig{
+		Burst:              4,
+		RefillPerServe:     0.5,
+		RefillPerTick:      2,
+		StandardCost:       1,
+		RecurringCost:      0.25,
+		RecurringTemplates: 8,
+	}
+	cfg.Metrics = reg
+	return cfg
+}
+
+func q(tenant string, i int, tpl string) *query.Query {
+	return &query.Query{ID: fmt.Sprintf("%s-q%d", tenant, i), TemplateID: tpl, Project: tenant}
+}
+
+// register n synthetic tenants named t000..; returns their names.
+func registerN(t *testing.T, r *Registry, reg *telemetry.Registry, n int) []string {
+	t.Helper()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%03d", i)
+		if err := r.Register(names[i], NewSyntheticTenant(names[i], reg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return names
+}
+
+func TestRegisterRouteDeregister(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := New(testConfig(reg))
+	names := registerN(t, r, reg, 10)
+
+	if err := r.Register("t003", NewSyntheticTenant("x", reg)); !errors.Is(err, ErrDuplicateTenant) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	if err := r.Register("nil", nil); !errors.Is(err, ErrNilBackend) {
+		t.Fatalf("nil register: %v", err)
+	}
+	if got := r.Tenants(); len(got) != 10 || got[0] != "t000" || got[9] != "t009" {
+		t.Fatalf("Tenants() = %v", got)
+	}
+
+	out, err := r.Route(context.Background(), "t005", q("t005", 0, "tpl1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := out.(*SyntheticChoice)
+	if c.Tenant != "t005" || c.Origin != "learned" || c.Shed {
+		t.Fatalf("routed choice %+v", c)
+	}
+
+	if _, err := r.Route(context.Background(), "ghost", q("ghost", 0, "")); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: %v", err)
+	}
+	if got := reg.Counter("fleet.route.unknown_tenant").Value(); got != 1 {
+		t.Fatalf("unknown counter = %d", got)
+	}
+
+	if !r.Deregister("t005") {
+		t.Fatal("deregister failed")
+	}
+	if r.Deregister("t005") {
+		t.Fatal("double deregister succeeded")
+	}
+	if _, err := r.Route(context.Background(), "t005", q("t005", 1, "")); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("deregistered tenant still routable: %v", err)
+	}
+	// Its grant returned to the pool.
+	st := r.Budget()
+	if st.Tenants != 9 {
+		t.Fatalf("tenants = %d, want 9", st.Tenants)
+	}
+	if st.Granted > st.Budget {
+		t.Fatalf("granted %d exceeds budget %d", st.Granted, st.Budget)
+	}
+	_ = names
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Route(ctx, "t001", q("t001", 9, "")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled route: %v", err)
+	}
+}
+
+// TestAdmissionTrajectory pins the token-bucket math for one tenant:
+// burst 4, +0.5/serve, standard price 1 → exactly 8 standard queries admit
+// before the bucket pins to shedding; recurring-lane queries stay admitted
+// (price 0.25 < refill 0.5); Tick restores headroom for 4 more.
+func TestAdmissionTrajectory(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := New(testConfig(reg))
+	registerN(t, r, reg, 1)
+	ctx := context.Background()
+
+	var outcomes []bool
+	for i := 0; i < 12; i++ {
+		out, err := r.Route(ctx, "t000", q("t000", i, "")) // no template: standard lane
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes = append(outcomes, !out.(*SyntheticChoice).Shed)
+	}
+	// tokens: start 4, +0.5/serve capped at 4, price 1 ⇒ net −0.5/serve
+	// while admitting: 7 straight admits drain to 0, then the bucket
+	// oscillates (shed at 0.5, admit at 1.0) — over-rate traffic degrades
+	// to roughly the sustainable rate instead of stopping.
+	want := []bool{true, true, true, true, true, true, true, false, true, false, true, false}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("serve %d admitted=%v, want %v (trajectory %v)", i, outcomes[i], want[i], outcomes)
+		}
+	}
+	if got := reg.Counter("fleet.admission.shed").Value(); got != 3 {
+		t.Fatalf("shed = %d, want 3", got)
+	}
+
+	// A shed outcome still serves — native-fallback origin, cause chain
+	// intact. Availability is the registry's whole point. (Query 99 lands
+	// on the oscillation's admit beat, 100 on the shed beat.)
+	if _, err := r.Route(ctx, "t000", q("t000", 99, "")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Route(ctx, "t000", q("t000", 100, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := out.(*SyntheticChoice)
+	if !c.Shed || c.Origin != "native-fallback" || !errors.Is(c.Cause, ErrTenantThrottled) {
+		t.Fatalf("shed choice %+v", c)
+	}
+
+	// Tick restores 2 tokens (0.5 + 2 = 2.5) → 4 more standard admits
+	// before the bucket drains back to the oscillation point.
+	r.Tick()
+	admits := 0
+	for i := 0; i < 4; i++ {
+		out, err := r.Route(ctx, "t000", q("t000", 200+i, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.(*SyntheticChoice).Shed {
+			admits++
+		}
+	}
+	if admits != 4 {
+		t.Fatalf("post-tick admits = %d, want 4", admits)
+	}
+}
+
+// TestRecurringLanePriority: once a template is in the recurring set, its
+// queries price at RecurringCost < RefillPerServe, so recurring traffic
+// sustains indefinitely while standard traffic sheds.
+func TestRecurringLanePriority(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := New(testConfig(reg))
+	registerN(t, r, reg, 1)
+	ctx := context.Background()
+
+	// First sight of the template is standard-lane (not yet recurring).
+	out, _ := r.Route(ctx, "t000", q("t000", 0, "tpl"))
+	if out.(*SyntheticChoice).Shed {
+		t.Fatal("first query shed")
+	}
+	if got := reg.Counter("fleet.admission.lane.recurring").Value(); got != 0 {
+		t.Fatalf("first sight counted recurring: %d", got)
+	}
+	// From the second on, the same template rides the recurring lane and
+	// never sheds, even far past the standard-lane budget.
+	for i := 1; i < 100; i++ {
+		out, err := r.Route(ctx, "t000", q("t000", i, "tpl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.(*SyntheticChoice).Shed {
+			t.Fatalf("recurring query %d shed", i)
+		}
+	}
+	if got := reg.Counter("fleet.admission.lane.recurring").Value(); got != 99 {
+		t.Fatalf("recurring lane = %d, want 99", got)
+	}
+
+	// The recurring set is bounded FIFO: flooding RecurringTemplates new
+	// templates evicts "tpl", so it re-enters as standard.
+	for i := 0; i < 8; i++ {
+		r.Route(ctx, "t000", q("t000", 300+i, fmt.Sprintf("flood%d", i)))
+	}
+	before := reg.Counter("fleet.admission.lane.standard").Value()
+	r.Route(ctx, "t000", q("t000", 400, "tpl"))
+	if got := reg.Counter("fleet.admission.lane.standard").Value(); got != before+1 {
+		t.Fatal("evicted template still rode the recurring lane")
+	}
+}
+
+// TestBudgetRebalance: grants track serve-count weights deterministically,
+// sum exactly to the budget, and shrink a cold tenant's resident cache.
+func TestBudgetRebalance(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.CacheBudget = 30
+	cfg.InitialGrant = 10
+	r := New(cfg)
+	names := registerN(t, r, reg, 3)
+	ctx := context.Background()
+
+	// Registration grants: 10 each, 30 total = budget.
+	st := r.Budget()
+	if st.Granted != 30 {
+		t.Fatalf("initial granted = %d", st.Granted)
+	}
+
+	// t000 hot (recurring lane keeps it admitted), t001 mild, t002 cold.
+	for i := 0; i < 30; i++ {
+		r.Route(ctx, "t000", q("t000", i, fmt.Sprintf("tpl%d", i%6)))
+	}
+	for i := 0; i < 6; i++ {
+		r.Route(ctx, "t001", q("t001", i, fmt.Sprintf("tpl%d", i)))
+	}
+	// Fill t002's cache before it goes cold.
+	for i := 0; i < 6; i++ {
+		r.Route(ctx, "t002", q("t002", i, fmt.Sprintf("tpl%d", i)))
+	}
+
+	r.Rebalance()
+	// Weights 30/6/6: grants floor(30·30/42)=21, floor(30·6/42)=4, 4 → rem 1
+	// to the heaviest (t000) = 22, 4, 4.
+	wantGrants := []int{22, 4, 4}
+	for i, name := range names {
+		s, ok := r.Stats(name)
+		if !ok {
+			t.Fatalf("stats %s missing", name)
+		}
+		if s.Grant != wantGrants[i] {
+			t.Fatalf("%s grant = %d, want %d", name, s.Grant, wantGrants[i])
+		}
+		if s.CacheLen > s.Grant {
+			t.Fatalf("%s cache %d exceeds grant %d", name, s.CacheLen, s.Grant)
+		}
+		if s.Served != 0 {
+			t.Fatalf("%s weight not reset: %d", name, s.Served)
+		}
+	}
+	st = r.Budget()
+	if st.Granted != 30 || st.Entries > st.Budget {
+		t.Fatalf("post-rebalance budget %+v", st)
+	}
+	// t002 had 6 resident entries, now capped at 4 — the shrink evicted.
+	s, _ := r.Stats("t002")
+	if s.CacheLen != 4 {
+		t.Fatalf("cold tenant cache = %d, want 4", s.CacheLen)
+	}
+	if ev := reg.Counter("fleet.synthetic.cache.evictions").Value(); ev < 2 {
+		t.Fatalf("shrink evictions = %d, want >= 2", ev)
+	}
+
+	// Quiescent rebalance: equal weights, deterministic equal split.
+	r.Rebalance()
+	for _, name := range names {
+		s, _ := r.Stats(name)
+		if s.Grant != 10 {
+			t.Fatalf("quiescent grant %s = %d, want 10", name, s.Grant)
+		}
+	}
+}
+
+// TestRegisterBeyondBudget: once the pool is exhausted, later registrants
+// get zero grant until a rebalance re-divides, and granted never exceeds
+// the budget.
+func TestRegisterBeyondBudget(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.CacheBudget = 20
+	cfg.InitialGrant = 8
+	r := New(cfg)
+	registerN(t, r, reg, 5) // 8+8+4+0+0
+	wants := []int{8, 8, 4, 0, 0}
+	for i, want := range wants {
+		s, _ := r.Stats(fmt.Sprintf("t%03d", i))
+		if s.Grant != want {
+			t.Fatalf("t%03d grant = %d, want %d", i, s.Grant, want)
+		}
+	}
+	if st := r.Budget(); st.Granted != 20 {
+		t.Fatalf("granted = %d", st.Granted)
+	}
+	r.Rebalance() // equal weights: 4 each
+	for i := 0; i < 5; i++ {
+		s, _ := r.Stats(fmt.Sprintf("t%03d", i))
+		if s.Grant != 4 {
+			t.Fatalf("post-rebalance t%03d grant = %d, want 4", i, s.Grant)
+		}
+	}
+}
+
+// routeAll drives per-tenant query sequences through the registry with the
+// given worker parallelism: parallel across tenants, ordered within one —
+// the registry's determinism precondition.
+func routeAll(t *testing.T, r *Registry, names []string, perTenant [][]*query.Query, workers int) {
+	t.Helper()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				for _, qq := range perTenant[i] {
+					if _, err := r.Route(context.Background(), names[i], qq); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := range names {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// TestTelemetryParallelByteIdentical is the satellite contract: the same
+// per-tenant traffic, served sequentially vs with 8 workers, snapshots the
+// fleet.* (and synthetic cache) telemetry byte-identically.
+func TestTelemetryParallelByteIdentical(t *testing.T) {
+	build := func(workers int) string {
+		reg := telemetry.NewRegistry()
+		r := New(testConfig(reg))
+		names := registerN(t, r, reg, 40)
+		perTenant := make([][]*query.Query, len(names))
+		for i, name := range names {
+			n := 4 + i%7
+			for j := 0; j < n; j++ {
+				perTenant[i] = append(perTenant[i], q(name, j, fmt.Sprintf("tpl%d", j%3)))
+			}
+		}
+		for wave := 0; wave < 3; wave++ {
+			routeAll(t, r, names, perTenant, workers)
+			r.Tick()
+			r.Rebalance()
+			r.Budget()
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := build(1)
+	par := build(8)
+	if seq != par {
+		t.Fatalf("parallel snapshot differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	if seq == "" {
+		t.Fatal("empty snapshot")
+	}
+}
+
+// TestConcurrentControlPlane races Register/Deregister/Rebalance/Tick/Budget
+// against full-speed routing — the -race exercise for the snapshot-swap
+// request path against the locked control plane.
+func TestConcurrentControlPlane(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := New(testConfig(reg))
+	names := registerN(t, r, reg, 16)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[(g*5+i)%len(names)]
+				_, err := r.Route(context.Background(), name, q(name, i, "tpl"))
+				if err != nil && !errors.Is(err, ErrUnknownTenant) {
+					t.Error(err)
+					return
+				}
+				i++
+			}
+		}(g)
+	}
+	for k := 0; k < 50; k++ {
+		extra := fmt.Sprintf("x%03d", k)
+		if err := r.Register(extra, NewSyntheticTenant(extra, reg)); err != nil {
+			t.Error(err)
+		}
+		r.Tick()
+		r.Rebalance()
+		st := r.Budget()
+		if st.Granted > st.Budget {
+			t.Errorf("granted %d > budget %d", st.Granted, st.Budget)
+		}
+		if !r.Deregister(extra) {
+			t.Error("deregister failed")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestShardDistribution sanity-checks FNV sharding: many tenants spread
+// over all shards, and lookup resolves every one.
+func TestShardDistribution(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.Shards = 8
+	r := New(cfg)
+	names := registerN(t, r, reg, 200)
+	seen := map[*shard]int{}
+	for _, name := range names {
+		if r.lookup(name) == nil {
+			t.Fatalf("lookup %s failed", name)
+		}
+		seen[r.shardFor(name)]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("200 tenants landed on %d/8 shards", len(seen))
+	}
+}

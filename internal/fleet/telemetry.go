@@ -1,0 +1,60 @@
+package fleet
+
+import "loam/internal/telemetry"
+
+// fleetTelemetry holds the fleet.* instruments. Every field is a nil-safe
+// no-op without a registry. All counters are order-independent totals and
+// all gauges are set only from the control plane (under the registry lock),
+// so same-seed runs snapshot byte-identically when traffic is parallel
+// across tenants and ordered within each tenant — the registry's
+// determinism contract. The one wall-clock instrument, fleet.route.latency,
+// is a Timer: its count is deterministic, its seconds are wall-only and
+// excluded from snapshots (the internal/telemetry convention).
+type fleetTelemetry struct {
+	routeTotal   *telemetry.Counter
+	routeUnknown *telemetry.Counter
+	routeErrors  *telemetry.Counter
+	routeLatency *telemetry.Timer
+
+	admitted      *telemetry.Counter
+	shed          *telemetry.Counter
+	laneStandard  *telemetry.Counter
+	laneRecurring *telemetry.Counter
+	ticks         *telemetry.Counter
+
+	registered   *telemetry.Counter
+	deregistered *telemetry.Counter
+	tenants      *telemetry.Gauge
+
+	rebalances   *telemetry.Counter
+	grantChanges *telemetry.Counter
+	budget       *telemetry.Gauge
+	grantedGauge *telemetry.Gauge
+	entriesGauge *telemetry.Gauge
+}
+
+// newFleetTelemetry resolves the fleet instruments from a registry.
+func newFleetTelemetry(reg *telemetry.Registry) fleetTelemetry {
+	return fleetTelemetry{
+		routeTotal:   reg.Counter("fleet.route.total"),
+		routeUnknown: reg.Counter("fleet.route.unknown_tenant"),
+		routeErrors:  reg.Counter("fleet.route.errors"),
+		routeLatency: reg.Timer("fleet.route.latency"),
+
+		admitted:      reg.Counter("fleet.admission.admitted"),
+		shed:          reg.Counter("fleet.admission.shed"),
+		laneStandard:  reg.Counter("fleet.admission.lane.standard"),
+		laneRecurring: reg.Counter("fleet.admission.lane.recurring"),
+		ticks:         reg.Counter("fleet.admission.ticks"),
+
+		registered:   reg.Counter("fleet.tenants.registered"),
+		deregistered: reg.Counter("fleet.tenants.deregistered"),
+		tenants:      reg.Gauge("fleet.tenants.active"),
+
+		rebalances:   reg.Counter("fleet.budget.rebalances"),
+		grantChanges: reg.Counter("fleet.cache.grant_changes"),
+		budget:       reg.Gauge("fleet.cache.budget"),
+		grantedGauge: reg.Gauge("fleet.cache.granted"),
+		entriesGauge: reg.Gauge("fleet.cache.entries"),
+	}
+}

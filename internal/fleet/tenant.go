@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"sync"
+
+	"loam/internal/floatsafe"
+	"loam/internal/query"
+)
+
+// tenant is one registered project: its backend plus the admission and
+// budget state the registry keeps for it. All mutable fields sit behind the
+// tenant's own mutex, so per-tenant admission outcomes are a pure function
+// of that tenant's serve sequence — the scheduling-independence contract.
+type tenant struct {
+	name    string
+	backend Backend
+	adm     AdmissionConfig
+
+	mu sync.Mutex
+	// tokens is the admission bucket level, in [0, adm.Burst].
+	tokens float64
+	// served counts serve calls since the last Rebalance — the weight by
+	// which this tenant earns cache from the global budget.
+	served int64
+	// grant is the current cache capacity granted from the global budget.
+	// Written under mu by Rebalance (and pre-publication by Register);
+	// every write happens while the registry lock is also held, so
+	// control-plane readers holding that lock need not take mu.
+	grant int
+	// recurring is the bounded set of templates this tenant has seen, FIFO
+	// over first-seen order via the ring below. Membership decides the
+	// priority lane.
+	recurring     map[string]struct{}
+	recurringRing []string
+	ringHead      int
+}
+
+func newTenant(name string, b Backend, adm AdmissionConfig) *tenant {
+	return &tenant{
+		name:      name,
+		backend:   b,
+		adm:       adm,
+		tokens:    adm.Burst,
+		recurring: make(map[string]struct{}, adm.RecurringTemplates),
+	}
+}
+
+// admit runs the token bucket for one serve call: refill, classify the
+// lane, then charge. A query is recurring when its template was already in
+// the tenant's recent-template set before this call. Deterministic given
+// the tenant's own request sequence alone.
+func (t *tenant) admit(q *query.Query) (admitted, recurring bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.served++
+	recurring = t.noteTemplate(q)
+	t.tokens += t.adm.RefillPerServe
+	if t.tokens > t.adm.Burst {
+		t.tokens = t.adm.Burst
+	}
+	price := t.adm.StandardCost
+	if recurring {
+		price = t.adm.RecurringCost
+	}
+	if floatsafe.LessEq(price, t.tokens) {
+		t.tokens -= price
+		return true, recurring
+	}
+	return false, recurring
+}
+
+// noteTemplate records q's template in the bounded recurring set and
+// reports whether it was already present. Queries without a template never
+// ride the recurring lane. Caller holds mu.
+func (t *tenant) noteTemplate(q *query.Query) bool {
+	id := q.TemplateID
+	if id == "" || t.adm.RecurringTemplates <= 0 {
+		return false
+	}
+	if _, ok := t.recurring[id]; ok {
+		return true
+	}
+	if len(t.recurring) < t.adm.RecurringTemplates {
+		t.recurring[id] = struct{}{}
+		t.recurringRing = append(t.recurringRing, id)
+		return false
+	}
+	// Full: evict the oldest first-seen template, FIFO.
+	old := t.recurringRing[t.ringHead]
+	delete(t.recurring, old)
+	t.recurring[id] = struct{}{}
+	t.recurringRing[t.ringHead] = id
+	t.ringHead = (t.ringHead + 1) % len(t.recurringRing)
+	return false
+}
+
+// refill adds n tokens (capped at Burst) — the control-plane Tick.
+func (t *tenant) refill(n float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tokens += n
+	if t.tokens > t.adm.Burst {
+		t.tokens = t.adm.Burst
+	}
+}
+
+// takeServed returns and resets the serve-count weight; called by Rebalance
+// so each epoch's grants reflect the traffic since the previous one.
+func (t *tenant) takeServed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.served
+	t.served = 0
+	return n
+}
+
+// setGrant applies a budget grant to the tenant and its backend. Called
+// only with the registry lock held (see grant's field comment).
+func (t *tenant) setGrant(n int) {
+	t.mu.Lock()
+	t.grant = n
+	t.mu.Unlock()
+	t.backend.SetCacheCapacity(n)
+}
+
+// stats snapshots the tenant's mutable state.
+func (t *tenant) stats() TenantStats {
+	t.mu.Lock()
+	s := TenantStats{
+		Tokens:    t.tokens,
+		Served:    t.served,
+		Grant:     t.grant,
+		Recurring: len(t.recurring),
+	}
+	t.mu.Unlock()
+	s.CacheLen = t.backend.CacheLen()
+	return s
+}

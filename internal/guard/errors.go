@@ -37,6 +37,11 @@ var (
 	// ErrNoServablePlan is returned only when every rung of the fallback
 	// ladder — learned, native re-plan, default candidate — failed.
 	ErrNoServablePlan = errors.New("guard: no servable plan")
+	// ErrLoadShed reports a query degraded to the fallback ladder by an
+	// admission gate (the fleet registry's token buckets) before the learned
+	// path ran. Shedding is a resource decision, not a model failure: it
+	// never charges the breaker and takes no sentinel sample.
+	ErrLoadShed = errors.New("guard: load shed by admission control")
 )
 
 // failure is a classified learned-path error: the class sentinel

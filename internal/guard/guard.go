@@ -353,6 +353,24 @@ func (g *Guard) Serve(ctx context.Context, req Request) (Result, error) {
 	return g.fallback(req, f)
 }
 
+// ServeShed serves one query entirely from the fallback ladder — the load-
+// shedding rung the fleet registry's admission gate degrades over-budget
+// tenants to. The learned path never runs, so shedding costs no model time;
+// the breaker is not charged and the sentinel takes no sample, because a
+// shed is a resource decision, not evidence of model ill-health. cause (the
+// admission gate's reason, e.g. the fleet's throttle sentinel) is wrapped
+// under ErrLoadShed and ErrTransient in the Result's FallbackCause, so
+// callers can errors.Is against any of the three.
+func (g *Guard) ServeShed(req Request, cause error) (Result, error) {
+	g.tel.serveTotal.Inc()
+	g.tel.serveShed.Inc()
+	shed := error(ErrLoadShed)
+	if cause != nil {
+		shed = fmt.Errorf("%w: %w", ErrLoadShed, cause)
+	}
+	return g.fallback(req, &failure{class: ErrTransient, cause: shed})
+}
+
 // ScoreLearned scores candidates on the raw learned path — no breaker, no
 // fallback, no injection. It exists for the pre-deployment validation gate
 // (loam.Validate), which must observe the model's unmasked behavior; serving

@@ -95,6 +95,74 @@ func smallCfg() Config {
 
 var errScore = errors.New("scorer exploded")
 
+// TestServeShed pins the load-shedding rung: the learned path never runs,
+// the native fallback serves, the breaker takes no charge, and the cause
+// chain carries ErrTransient, ErrLoadShed, and the admission gate's own
+// sentinel. With no native planner, shedding degrades to the default
+// candidate rather than failing.
+func TestServeShed(t *testing.T) {
+	errThrottled := errors.New("fleet: tenant over budget")
+	sc := &stubScorer{}
+	h := newHarness(smallCfg(), sc, nil)
+
+	res, err := h.g.ServeShed(h.req, errThrottled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Origin != OriginNativeFallback || res.Chosen != h.native {
+		t.Fatalf("shed served origin %v, want native fallback", res.Origin)
+	}
+	for _, sentinel := range []error{ErrTransient, ErrLoadShed, errThrottled} {
+		if !errors.Is(res.FallbackCause, sentinel) {
+			t.Fatalf("cause chain lost %v: %v", sentinel, res.FallbackCause)
+		}
+	}
+	if sc.calls != 0 {
+		t.Fatalf("shed ran the learned path %d times", sc.calls)
+	}
+	if got := h.counter(t, "guard.serve.shed"); got != 1 {
+		t.Fatalf("guard.serve.shed = %d, want 1", got)
+	}
+	if got := h.counter(t, "guard.serve.total"); got != 1 {
+		t.Fatalf("guard.serve.total = %d, want 1", got)
+	}
+	if got := h.counter(t, "guard.fallback.reason.load_shed"); got != 1 {
+		t.Fatalf("guard.fallback.reason.load_shed = %d, want 1", got)
+	}
+	// Sheds are not model failures: the breaker never opens no matter how
+	// many land in the window.
+	for i := 0; i < 8; i++ {
+		if _, err := h.g.ServeShed(h.req, errThrottled); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := h.g.State(); st != BreakerClosed {
+		t.Fatalf("shedding charged the breaker: state %v", st)
+	}
+	if got := h.counter(t, "guard.breaker.opened"); got != 0 {
+		t.Fatalf("breaker opened %d times under pure shedding", got)
+	}
+
+	// Nil cause: the chain is just class + ErrLoadShed.
+	res, err = h.g.ServeShed(h.req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.FallbackCause, ErrLoadShed) {
+		t.Fatalf("nil-cause shed lost ErrLoadShed: %v", res.FallbackCause)
+	}
+
+	// No native planner: the default candidate is the shedding rung.
+	h2 := newHarness(smallCfg(), &stubScorer{}, func(o *Options) { o.Native = nil })
+	res, err = h2.g.ServeShed(h2.req, errThrottled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Origin != OriginDefaultFallback || res.Chosen != h2.req.Cands[0] {
+		t.Fatalf("nativeless shed served origin %v", res.Origin)
+	}
+}
+
 // TestRecoveryCyclePinnedSequence drives the breaker through a full
 // closed → open → half-open → closed cycle with a scripted scorer and pins
 // the exact per-call (origin, state, cause) event sequence — the

@@ -15,12 +15,14 @@ import (
 type guardTelemetry struct {
 	serveTotal   *telemetry.Counter
 	serveLearned *telemetry.Counter
+	serveShed    *telemetry.Counter
 	exhausted    *telemetry.Counter
 
 	fallbackNative  *telemetry.Counter
 	fallbackDefault *telemetry.Counter
 
 	reasonBreaker    *telemetry.Counter
+	reasonShed       *telemetry.Counter
 	reasonDeadline   *telemetry.Counter
 	reasonNoCands    *telemetry.Counter
 	reasonNoFinite   *telemetry.Counter
@@ -51,12 +53,14 @@ func newGuardTelemetry(reg *telemetry.Registry) guardTelemetry {
 	return guardTelemetry{
 		serveTotal:   reg.Counter("guard.serve.total"),
 		serveLearned: reg.Counter("guard.serve.learned"),
+		serveShed:    reg.Counter("guard.serve.shed"),
 		exhausted:    reg.Counter("guard.serve.exhausted"),
 
 		fallbackNative:  reg.Counter("guard.fallback.native"),
 		fallbackDefault: reg.Counter("guard.fallback.default"),
 
 		reasonBreaker:    reg.Counter("guard.fallback.reason.breaker_open"),
+		reasonShed:       reg.Counter("guard.fallback.reason.load_shed"),
 		reasonDeadline:   reg.Counter("guard.fallback.reason.deadline"),
 		reasonNoCands:    reg.Counter("guard.fallback.reason.no_candidates"),
 		reasonNoFinite:   reg.Counter("guard.fallback.reason.no_finite_estimate"),
@@ -86,6 +90,8 @@ func newGuardTelemetry(reg *telemetry.Registry) guardTelemetry {
 // reason maps a fallback cause to its guard.fallback.reason.* counter.
 func (t *guardTelemetry) reason(cause error) *telemetry.Counter {
 	switch {
+	case errors.Is(cause, ErrLoadShed):
+		return t.reasonShed
 	case errors.Is(cause, ErrBreakerOpen):
 		return t.reasonBreaker
 	case errors.Is(cause, ErrQuarantined):

@@ -139,6 +139,36 @@ func (c *planCache) getOrCompute(key cacheKey, compute func() []float64) []float
 	return emb
 }
 
+// setCapacity resizes the cache in place. Shrinking evicts strict-LRU tail
+// entries (counted as evictions) under the same lock that decides hits and
+// misses, so a resize interleaved with a fixed per-key request order still
+// yields scheduling-independent counter totals. Unlike a fresh cache it keeps
+// every surviving entry, which is what lets an external budget governor
+// shrink a cold tenant without discarding its hot head. capacity < 0 clamps
+// to 0: the cache stays installed but retains nothing.
+func (c *planCache) setCapacity(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	for len(c.m) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.tel.cacheEvictions.Inc()
+	}
+	c.tel.cacheSize.Set(float64(len(c.m)))
+}
+
+// capacity reports the current entry budget.
+func (c *planCache) capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
 // flush drops every entry. In-flight computations complete and deliver to
 // their waiters but are no longer retained.
 func (c *planCache) flush() {

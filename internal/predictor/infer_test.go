@@ -205,6 +205,98 @@ func TestPlanCacheEvictionAndFlush(t *testing.T) {
 	}
 }
 
+// TestPlanCacheSetCapacity pins the external-governance seam: shrinking
+// evicts exactly the strict-LRU tail (counted as evictions) while the warm
+// head survives, growing never drops entries, and capacity 0 keeps the cache
+// installed but empty so zero-grant tenants stay governable.
+func TestPlanCacheSetCapacity(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 29)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	p.Instrument(reg)
+	p.EnablePlanCache(8)
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+
+	plans := []*plan.Plan{samples[0].Plan, samples[1].Plan, samples[2].Plan, samples[3].Plan}
+	for _, pl := range plans {
+		if _, _, err := p.SelectPlanKeyed([]*plan.Plan{pl}, envs, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.PlanCacheCap(); got != 8 {
+		t.Fatalf("PlanCacheCap = %d, want 8", got)
+	}
+
+	// Shrink to 2: the two least-recently-used entries (plans[0], plans[1])
+	// go; the warm head stays resident.
+	p.SetPlanCacheCapacity(2)
+	if got := p.PlanCacheCap(); got != 2 {
+		t.Fatalf("PlanCacheCap after shrink = %d, want 2", got)
+	}
+	if n := p.PlanCacheLen(); n != 2 {
+		t.Fatalf("shrink left %d entries, want 2", n)
+	}
+	if ev := p.tel.cacheEvictions.Value(); ev != 2 {
+		t.Fatalf("shrink evictions = %d, want 2", ev)
+	}
+	hits := p.tel.cacheHits.Value()
+	if _, _, err := p.SelectPlanKeyed(plans[2:], envs, key); err != nil {
+		t.Fatal(err)
+	}
+	if h := p.tel.cacheHits.Value(); h != hits+2 {
+		t.Fatalf("warm head lost across shrink: hits %d -> %d", hits, h)
+	}
+	misses := p.tel.cacheMisses.Value()
+	if _, _, err := p.SelectPlanKeyed(plans[:1], envs, key); err != nil {
+		t.Fatal(err)
+	}
+	if m := p.tel.cacheMisses.Value(); m != misses+1 {
+		t.Fatalf("LRU tail survived shrink: misses %d -> %d", misses, m)
+	}
+
+	// Growing never drops entries; re-filling uses the new headroom.
+	p.SetPlanCacheCapacity(16)
+	if n := p.PlanCacheLen(); n != 2 {
+		t.Fatalf("grow dropped entries: %d, want 2", n)
+	}
+	for _, pl := range plans {
+		if _, _, err := p.SelectPlanKeyed([]*plan.Plan{pl}, envs, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := p.PlanCacheLen(); n != 4 {
+		t.Fatalf("after grow + refill: %d entries, want 4", n)
+	}
+
+	// Capacity 0: everything evicts, the cache object stays, and fills are
+	// immediately discarded.
+	p.SetPlanCacheCapacity(0)
+	if n, c := p.PlanCacheLen(), p.PlanCacheCap(); n != 0 || c != 0 {
+		t.Fatalf("zero-capacity cache: len=%d cap=%d", n, c)
+	}
+	if _, _, err := p.SelectPlanKeyed(plans[:2], envs, key); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.PlanCacheLen(); n != 0 {
+		t.Fatalf("zero-capacity cache retained %d entries", n)
+	}
+
+	// SetPlanCacheCapacity on a cache-less predictor installs one.
+	p2, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.SetPlanCacheCapacity(4)
+	if got := p2.PlanCacheCap(); got != 4 {
+		t.Fatalf("install-on-demand cap = %d, want 4", got)
+	}
+}
+
 // TestPlanCacheConcurrent hammers one shared cache from many goroutines mixing
 // keyed selects and PredictCost; run under -race this is the predictor-level
 // data-race test for the singleflight cache.

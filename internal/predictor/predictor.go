@@ -598,6 +598,35 @@ func (p *Predictor) EnablePlanCache(capacity int) {
 	p.cache = newPlanCache(capacity, &p.tel)
 }
 
+// SetPlanCacheCapacity resizes the plan-embedding cache in place to hold up
+// to capacity entries, evicting strict-LRU tail entries when shrinking. This
+// is the external-governance seam the fleet registry's global cache budget
+// uses: unlike EnablePlanCache it never discards surviving entries, and once
+// a cache is installed it is safe to call concurrently with serving (the
+// resize happens under the cache's own lock). When no cache exists yet it
+// installs an empty one — do that before serving starts, same as
+// EnablePlanCache. capacity <= 0 keeps the cache installed but empty (every
+// fill is immediately evicted), which is how a zero-grant tenant remains
+// governable without the nil-cache special case.
+func (p *Predictor) SetPlanCacheCapacity(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if p.cache == nil {
+		p.cache = newPlanCache(capacity, &p.tel)
+		return
+	}
+	p.cache.setCapacity(capacity)
+}
+
+// PlanCacheCap reports the cache's current entry budget (0 when disabled).
+func (p *Predictor) PlanCacheCap() int {
+	if p.cache == nil {
+		return 0
+	}
+	return p.cache.capacity()
+}
+
 // FlushPlanCache empties the plan cache, if one is enabled.
 func (p *Predictor) FlushPlanCache() {
 	if p.cache != nil {

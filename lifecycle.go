@@ -329,9 +329,13 @@ func (lc *Lifecycle) retrainSet(window []feedback.Entry) ([]predictor.Sample, []
 // plan cache, so no embedding from the incumbent's weights survives the
 // swap; the guard's breaker and sentinel restart clean (releasing any
 // quarantine), and the drift detector starts a fresh history. Callers hold
-// lc.mu.
+// lc.mu. The fresh cache is sized by the live fleet grant when a registry
+// governs this deployment (promoteCacheCapacity) — a promote never resets a
+// tenant's capacity back to its deploy-time setting; if a Rebalance lands
+// between the read and the swap, the next Rebalance re-applies its grant and
+// the fleet re-converges.
 func (lc *Lifecycle) promoteLocked(cand *predictor.Predictor, ver int) {
-	cand.EnablePlanCache(lc.d.planCacheCap)
+	cand.EnablePlanCache(lc.d.promoteCacheCapacity())
 	lc.prev, lc.prevVer = lc.d.pred.Load(), lc.version
 	lc.probationLeft = lc.cfg.Probation
 	lc.version = ver

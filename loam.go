@@ -277,7 +277,13 @@ type Deployment struct {
 	// cache, so embeddings can never outlive the weights that produced them.
 	pred         atomic.Pointer[predictor.Predictor]
 	planCacheCap int
-	inj          *faultinject.Injector
+	// governedCap is the plan-cache capacity granted by a fleet registry's
+	// budget governor, or -1 while the deployment serves ungoverned. Once a
+	// registry takes over (setGovernedCache), its grant — not the deploy-time
+	// WithPlanCache capacity — sizes every fresh cache a lifecycle promote
+	// installs.
+	governedCap atomic.Int64
+	inj         *faultinject.Injector
 
 	tel *telemetry.Registry
 	obs servingTelemetry
@@ -375,6 +381,7 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 		tel:          o.metrics,
 		obs:          newServingTelemetry(o.metrics),
 	}
+	d.governedCap.Store(-1)
 	d.pred.Store(pred)
 	d.grd = ps.newGuard(pred, o)
 	d.attachLifecycle(o)
@@ -650,6 +657,7 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 		tel:          o.metrics,
 		obs:          newServingTelemetry(o.metrics),
 	}
+	d.governedCap.Store(-1)
 	d.pred.Store(pred)
 	d.grd = ps.newGuard(pred, o)
 	d.attachLifecycle(o)

@@ -1,0 +1,317 @@
+package loam
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"loam/internal/fleet"
+	"loam/internal/predictor"
+	"loam/internal/query"
+)
+
+// TestDeployAllCtxAggregatesFleetErrors pins the typed error surface: one
+// FleetError per failed project, carrying the fleet index and project name,
+// with the underlying sentinel visible through both Unwrap levels.
+func TestDeployAllCtxAggregatesFleetErrors(t *testing.T) {
+	sim := fleetSim(t)
+	results, err := sim.DeployAllCtx(context.Background(), fleetDeployConfig(), WithParallelism(2))
+	if len(results) != 4 {
+		t.Fatalf("results %d", len(results))
+	}
+	if err == nil {
+		t.Fatal("empty project should surface in the aggregate error")
+	}
+	var fe FleetErrors
+	if !errors.As(err, &fe) {
+		t.Fatalf("aggregate is %T, want FleetErrors", err)
+	}
+	if len(fe) != 1 || fe[0].Project != "empty" || fe[0].Index != 3 {
+		t.Fatalf("wrong failure entries: %+v", fe)
+	}
+	if !errors.Is(err, predictor.ErrNoTrainingData) {
+		t.Fatalf("sentinel lost through the aggregate: %v", err)
+	}
+	for _, r := range results[:3] {
+		if r.Err != nil || r.Deployment == nil {
+			t.Fatalf("%s: %v", r.Project, r.Err)
+		}
+	}
+}
+
+// TestDeployAllCtxCancellation cancels the fleet after the first project's
+// training starts: that project completes (training is not interruptible),
+// every later project is abandoned with ctx.Err(), and the aggregate reports
+// the cancellation via errors.Is.
+func TestDeployAllCtxCancellation(t *testing.T) {
+	sim := fleetSim(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Option resolution runs once at DeployAllCtx entry, then once per
+	// project deploy — the second resolution is the first project's.
+	calls := 0
+	tripwire := DeployOption(func(o *deployOptions) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+	})
+	results, err := sim.DeployAllCtx(ctx, fleetDeployConfig(), tripwire)
+	if len(results) != 4 {
+		t.Fatalf("results %d", len(results))
+	}
+	if results[0].Err != nil || results[0].Deployment == nil {
+		t.Fatalf("in-flight training should finish: %v", results[0].Err)
+	}
+	for _, r := range results[1:] {
+		if r.Deployment != nil {
+			t.Fatalf("%s: trained after cancellation", r.Project)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("%s: want context.Canceled, got %v", r.Project, r.Err)
+		}
+		if r.Project == "" {
+			t.Fatal("abandoned result lost its project name")
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("aggregate should report the cancellation: %v", err)
+	}
+}
+
+// TestDeployAllCtxPreCancelled: a context cancelled before the call abandons
+// every project without starting any training.
+func TestDeployAllCtxPreCancelled(t *testing.T) {
+	sim := fleetSim(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := sim.DeployAllCtx(ctx, fleetDeployConfig(), WithParallelism(3))
+	for _, r := range results {
+		if r.Deployment != nil || !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("%s: dep=%v err=%v", r.Project, r.Deployment, r.Err)
+		}
+	}
+	var fe FleetErrors
+	if !errors.As(err, &fe) || len(fe) != 4 {
+		t.Fatalf("want 4 FleetErrors, got %v", err)
+	}
+}
+
+// TestDeployAllCtxParallelRace trains the fleet at parallelism above the
+// project count; meaningful mainly under -race (make race), where it verifies
+// the channel-based result collection has no write races.
+func TestDeployAllCtxParallelRace(t *testing.T) {
+	sim := fleetSim(t)
+	results, err := sim.DeployAllCtx(context.Background(), fleetDeployConfig(), WithParallelism(8))
+	if len(results) != 4 {
+		t.Fatalf("results %d", len(results))
+	}
+	var fe FleetErrors
+	if !errors.As(err, &fe) || len(fe) != 1 {
+		t.Fatalf("want exactly the empty project failing, got %v", err)
+	}
+	for i, r := range results {
+		if r.Project != sim.Projects[i].Config.Name {
+			t.Fatal("result order broken")
+		}
+	}
+}
+
+// TestDeployAllCtxSelector: WithSelector reproduces the SelectAndDeploy
+// pipeline through the new entry point.
+func TestDeployAllCtxSelector(t *testing.T) {
+	sim := fleetSim(t)
+	pass := func(ps *ProjectSim) bool { return ps.Repo.Len() > 0 }
+	scores := map[string]float64{"fa": 0.1, "fb": 0.9, "fc": 0.5}
+	results, err := sim.DeployAllCtx(context.Background(), fleetDeployConfig(),
+		WithSelector(pass, scores, 2), WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Project != "fb" || results[1].Project != "fc" {
+		t.Fatalf("wrong top-2: %v", resultNames(results))
+	}
+}
+
+// registryFixture deploys two small projects and registers them on a fleet
+// with a tight admission budget, returning fresh serving-day queries per
+// project.
+func registryFixture(t *testing.T, adm FleetAdmissionConfig) (*FleetRegistry, map[string]*Deployment, map[string][]*query.Query) {
+	t.Helper()
+	sim := fleetSim(t)
+	results, _ := sim.DeployAllCtx(context.Background(), fleetDeployConfig(),
+		WithSelector(func(ps *ProjectSim) bool { return ps.Repo.Len() > 0 }, nil, 2))
+	cfg := DefaultFleetConfig()
+	cfg.Shards = 2
+	cfg.CacheBudget = 32
+	cfg.InitialGrant = 8
+	cfg.Admission = adm
+	reg := sim.NewFleet(cfg)
+	deps := map[string]*Deployment{}
+	qs := map[string][]*query.Query{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if err := reg.Register(r.Project, r.Deployment); err != nil {
+			t.Fatal(err)
+		}
+		deps[r.Project] = r.Deployment
+		ps := sim.Project(r.Project)
+		for day := 6; len(qs[r.Project]) < 16; day++ {
+			qs[r.Project] = append(qs[r.Project], ps.Gen.Day(day)...)
+		}
+	}
+	return reg, deps, qs
+}
+
+// TestFleetRouteAdmitsAndGoverns: an admitted Route serves through the full
+// ladder and the registry owns the deployment's plan-cache capacity from
+// Register on.
+func TestFleetRouteAdmitsAndGoverns(t *testing.T) {
+	reg, deps, qs := registryFixture(t, FleetAdmissionConfig{
+		Burst: 64, RefillPerServe: 1, RefillPerTick: 1,
+		StandardCost: 1, RecurringCost: 0.25, RecurringTemplates: 8,
+	})
+	for name, d := range deps {
+		if got := d.Predictor().PlanCacheCap(); got != 8 {
+			t.Fatalf("%s: cache not governed at Register, cap %d", name, got)
+		}
+		c, err := reg.Route(context.Background(), name, qs[name][0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil || c.FallbackCause != nil && errors.Is(c.FallbackCause, ErrLoadShed) {
+			t.Fatalf("%s: admitted query was shed: %+v", name, c)
+		}
+	}
+	if _, err := reg.Route(context.Background(), "nobody", qs["fa"][0]); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("want ErrUnknownTenant, got %v", err)
+	}
+	st := reg.Budget()
+	if st.Budget != 32 || st.Tenants != 2 || st.Granted != 16 {
+		t.Fatalf("budget status %+v", st)
+	}
+	// Deregister returns the grant and leaves the tenant's cache empty.
+	name := reg.Tenants()[0]
+	if !reg.Deregister(name) {
+		t.Fatal("deregister failed")
+	}
+	if got := deps[name].Predictor().PlanCacheCap(); got != 0 {
+		t.Fatalf("deregistered tenant keeps cache cap %d", got)
+	}
+}
+
+// TestFleetRouteShedTrajectory pins the admission trajectory for a drained
+// bucket and the shed Choice's shape: native-fallback origin, ErrLoadShed
+// wrapping ErrTenantThrottled, no estimates — and sheds never charge the
+// guard's breaker, so a throttled tenant recovers instantly after a Tick.
+func TestFleetRouteShedTrajectory(t *testing.T) {
+	reg, deps, qs := registryFixture(t, FleetAdmissionConfig{
+		// Refill 0.5/serve against price 1: 4 burst admits stretch to 7, then
+		// the bucket oscillates at the refill rate (admit every other call).
+		Burst: 4, RefillPerServe: 0.5, RefillPerTick: 4,
+		StandardCost: 1, RecurringCost: 1, RecurringTemplates: 0,
+	})
+	name := "fa"
+	if deps[name] == nil {
+		t.Fatalf("fixture lost %s", name)
+	}
+	want := []bool{true, true, true, true, true, true, true, false, true, false, true, false}
+	for i, admit := range want {
+		q := qs[name][i%len(qs[name])]
+		c, err := reg.Route(context.Background(), name, q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if c == nil {
+			t.Fatalf("query %d: availability broken, no choice served", i)
+		}
+		shed := errors.Is(c.FallbackCause, ErrLoadShed)
+		if shed == admit {
+			t.Fatalf("query %d: admit=%v but shed=%v", i, admit, shed)
+		}
+		if shed {
+			if c.Origin != OriginNativeFallback {
+				t.Fatalf("query %d: shed origin %v", i, c.Origin)
+			}
+			if !errors.Is(c.FallbackCause, ErrTenantThrottled) {
+				t.Fatalf("query %d: cause chain lost: %v", i, c.FallbackCause)
+			}
+			if c.Estimates != nil {
+				t.Fatalf("query %d: shed carried estimates", i)
+			}
+			if c.Chosen == nil {
+				t.Fatalf("query %d: shed served no plan", i)
+			}
+		}
+	}
+	if got := deps[name].Guard().State(); got != BreakerClosed {
+		t.Fatalf("sheds charged the breaker: %v", got)
+	}
+	// A control-plane Tick restores headroom: the next 4 standard queries
+	// admit straight through.
+	reg.Tick()
+	for i := 0; i < 4; i++ {
+		c, err := reg.Route(context.Background(), name, qs[name][i])
+		if err != nil || errors.Is(c.FallbackCause, ErrLoadShed) {
+			t.Fatalf("post-tick query %d: err=%v cause=%v", i, err, c.FallbackCause)
+		}
+	}
+}
+
+// TestGovernedPromoteCapacity: once a registry governs a deployment, a
+// lifecycle promote sizes the fresh cache from the live grant, not the
+// deploy-time WithPlanCache capacity.
+func TestGovernedPromoteCapacity(t *testing.T) {
+	sim := fleetSim(t)
+	dep, err := sim.Project("fa").Deploy(fleetDeployConfig(), WithPlanCache(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dep.promoteCacheCapacity(); got != 100 {
+		t.Fatalf("ungoverned promote capacity %d, want the WithPlanCache 100", got)
+	}
+	dep.setGovernedCache(5)
+	if got := dep.Predictor().PlanCacheCap(); got != 5 {
+		t.Fatalf("grant not applied to the live cache: cap %d", got)
+	}
+	if got := dep.promoteCacheCapacity(); got != 5 {
+		t.Fatalf("governed promote capacity %d, want the grant 5", got)
+	}
+	// A zero grant still counts as governed: promoted models start uncached
+	// until the tenant earns budget back.
+	dep.setGovernedCache(0)
+	if got := dep.promoteCacheCapacity(); got != 0 {
+		t.Fatalf("zero grant ignored: %d", got)
+	}
+}
+
+// TestFleetRegistryMixedBackends: deployments and synthetic tenants share one
+// registry; Route's typed veneer returns nil for non-Choice backends while
+// Registry().Route exposes the native value.
+func TestFleetRegistryMixedBackends(t *testing.T) {
+	reg, _, qs := registryFixture(t, FleetAdmissionConfig{
+		Burst: 8, RefillPerServe: 1, RefillPerTick: 1,
+		StandardCost: 1, RecurringCost: 0.5, RecurringTemplates: 4,
+	})
+	syn := fleet.NewSyntheticTenant("synth", nil)
+	if err := reg.RegisterBackend("synth", syn); err != nil {
+		t.Fatal(err)
+	}
+	q := qs["fa"][0]
+	c, err := reg.Route(context.Background(), "synth", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Fatalf("synthetic backend produced a *Choice: %+v", c)
+	}
+	out, err := reg.Registry().Route(context.Background(), "synth", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(*fleet.SyntheticChoice); !ok {
+		t.Fatalf("native value lost: %T", out)
+	}
+}
