@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-fleet bench-fleet-smoke bench-go lint lint-fix-hints lint-report chaos verify
+.PHONY: build test race bench bench-smoke bench-fleet bench-fleet-smoke bench-go lint lint-fix-hints lint-report chaos chaos-recover verify
 
 build:
 	$(GO) build ./...
@@ -39,11 +39,12 @@ bench-go:
 
 # lint runs stock go vet plus loam-vet, the repo's own analyzer suite
 # (internal/analysis): determinism, lockdiscipline, nansafety, errwrap,
-# guarddiscipline, inferencepurity, and the typed contracts allocdiscipline,
-# lockorder and ctxflow. See DESIGN.md "Static analysis & code contracts".
+# guarddiscipline, inferencepurity, iodiscipline, and the typed contracts
+# allocdiscipline, lockorder and ctxflow. See DESIGN.md "Static analysis &
+# code contracts".
 #
 # Budget: the typed suite (go/types load of every package + call graph + all
-# nine analyzers) completes in ~2s wall on the full repo, ~4s including the
+# ten analyzers) completes in ~2s wall on the full repo, ~4s including the
 # `go run` compile of loam-vet itself. If a change pushes the suite past ~10s,
 # treat it as a regression in the analyzer, not a cost of doing business.
 lint:
@@ -70,4 +71,11 @@ lint-report:
 chaos:
 	$(GO) test -race -count=1 -run 'Guard|Breaker|Quarantine|Fault|Outage|Inject|Lifecycle|SwapScorer' ./...
 
-verify: build lint test race chaos
+# chaos-recover is the durability twin of chaos: the kill-point crash sweep,
+# the atomic-write primitive, the journal's torn-tail repair, snapshot
+# integrity, fsck, and warm restore — under the race detector (see DESIGN.md
+# "Durability & recovery contract").
+chaos-recover:
+	$(GO) test -race -count=1 -run 'Recover|Durable|Journal|Fsck|Atomic|KillPoint|TornTail|Integrity|Restore|Grants' ./...
+
+verify: build lint test race chaos chaos-recover

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3|serve|guard|lifecycle|perf|fleet]
+//	loam-bench [-run all|fig1|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig15|fig16|sec73|thm1|ext1|ext2|ext3|serve|guard|lifecycle|recover|perf|fleet]
 //	           [-seed N] [-scale F] [-epochs N] [-eval N] [-tiny] [-quiet] [-metrics]
 //	           [-benchout FILE] [-fleetout FILE]
 //
@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"loam/internal/atomicio"
 	"loam/internal/experiments"
 	"loam/internal/walltime"
 )
@@ -35,7 +36,7 @@ func main() {
 func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("loam-bench", flag.ContinueOnError)
 	var (
-		runSpec = fs.String("run", "all", "comma-separated experiment ids (all, fig1, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig15, fig16, sec73, thm1, ext1, ext2, ext3, serve, guard, lifecycle, perf, fleet)")
+		runSpec = fs.String("run", "all", "comma-separated experiment ids (all, fig1, table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig15, fig16, sec73, thm1, ext1, ext2, ext3, serve, guard, lifecycle, recover, perf, fleet)")
 		seed    = fs.Uint64("seed", 42, "root seed for the whole simulation")
 		scale   = fs.Float64("scale", 1, "workload scale multiplier (5 ≈ paper scale)")
 		epochs  = fs.Int("epochs", 0, "override training epochs (0 = default)")
@@ -206,6 +207,14 @@ func run(args []string, out, errw io.Writer) error {
 		}
 		r.Render(out)
 	}
+	if has("recover") {
+		section("recover")
+		r, err := env.Recover(context.Background())
+		if err != nil {
+			return err
+		}
+		r.Render(out)
+	}
 	if has("perf") {
 		section("perf")
 		r, err := env.Perf(context.Background())
@@ -218,7 +227,7 @@ func run(args []string, out, errw io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+			if err := atomicio.Default.WriteFile(*benchout, append(data, '\n')); err != nil {
 				return fmt.Errorf("write %s: %w", *benchout, err)
 			}
 			fmt.Fprintf(out, "wrote %s\n", *benchout)
@@ -237,7 +246,7 @@ func run(args []string, out, errw io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(*fleetout, append(data, '\n'), 0o644); err != nil {
+			if err := atomicio.Default.WriteFile(*fleetout, append(data, '\n')); err != nil {
 				return fmt.Errorf("write %s: %w", *fleetout, err)
 			}
 			fmt.Fprintf(out, "wrote %s\n", *fleetout)

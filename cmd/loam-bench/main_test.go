@@ -239,6 +239,71 @@ func TestRunLifecycleMetricsDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunRecoverMetricsDeterministic is the acceptance check for the
+// kill-point chaos harness: `-run recover` sweeps an injected crash across
+// every durable write point of a forced-drift lifecycle run, every point
+// recovers to a consistent servable version with 100% post-recovery
+// availability, the durable.* counters render in the stable-ordered metrics
+// dump, and two identically-seeded runs print byte-identical recover and
+// metrics sections.
+func TestRunRecoverMetricsDeterministic(t *testing.T) {
+	bench := func() string {
+		var out, errw bytes.Buffer
+		if err := run([]string{"-tiny", "-quiet", "-run", "recover", "-metrics"}, &out, &errw); err != nil {
+			t.Fatalf("run: %v\nstderr: %s", err, errw.String())
+		}
+		return out.String()
+	}
+	first := bench()
+	for _, want := range []string{
+		"==== recover ====",
+		"post-recovery availability 100%",
+		"promote  -> v2",
+		"rollback -> v1",
+		"restore",
+		"redeploy",
+		"torn-tail",
+		"fsck clean at every point",
+		"fleet grants: 3 tenants survive a registry restart",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("recover section missing %q:\n%s", want, first)
+		}
+	}
+	sec := metricsSection(t, first)
+	for _, want := range []string{
+		"counter durable.checkpoints",
+		"counter durable.restores",
+		"counter durable.errors 0",
+		"counter durable.journal.appends",
+		"counter durable.journal.replayed",
+		"counter durable.journal.truncated",
+		"counter durable.grants.saves",
+		"counter durable.grants.restores 1",
+		"gauge durable.version",
+	} {
+		if !strings.Contains(sec, want) {
+			t.Fatalf("metrics section missing %q:\n%s", want, sec)
+		}
+	}
+	second := bench()
+	recoverSection := func(s string) string {
+		_, rest, ok := strings.Cut(s, "==== recover ====")
+		if !ok {
+			t.Fatalf("no recover section:\n%s", s)
+		}
+		body, _, _ := strings.Cut(rest, "====")
+		return body
+	}
+	if recoverSection(second) != recoverSection(first) {
+		t.Fatalf("same-seed recover sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			recoverSection(first), recoverSection(second))
+	}
+	if again := metricsSection(t, second); again != sec {
+		t.Fatalf("same-seed metrics sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sec, again)
+	}
+}
+
 // TestRunFleetMetricsDeterministic is the acceptance check for multi-tenant
 // fleet serving: `-run fleet` routes zipfian traffic for the synthetic tenant
 // fleet plus two real deployments through the sharded registry, survives the

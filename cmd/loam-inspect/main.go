@@ -10,11 +10,19 @@
 //	loam-inspect [-seed N] [-day N] [-section catalog|stats|templates|query|all]
 //	             [-template N] [-tables N] [-statsprob F]
 //	loam-inspect metrics [-seed N]
+//	loam-inspect fsck <store-dir>
 //
 // The metrics section (also reachable as -section metrics) is opt-in and not
 // part of "all": it runs a small end-to-end demo — history, a tiny training
 // run, a handful of steered queries — and dumps the combined telemetry
 // snapshot plus the reporting-only wall timings.
+//
+// The fsck subcommand checks a durable model store offline (see DESIGN.md
+// "Durability & recovery contract"): the manifest frame, every referenced
+// snapshot's checksum, journal segment integrity, and the fleet grant table
+// if present. It prints a deterministic report and exits non-zero when the
+// store is corrupt; repairable residue of a crash (a torn journal tail, an
+// orphaned snapshot) is reported but does not fail the check.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"strings"
 
 	"loam"
+	"loam/internal/durable"
 	"loam/internal/exec"
 	"loam/internal/nativeopt"
 	"loam/internal/stats"
@@ -54,10 +63,20 @@ func run(args []string, out, errw io.Writer) error {
 		return err
 	}
 	if fs.NArg() > 0 {
-		if fs.NArg() > 1 || fs.Arg(0) != "metrics" {
-			return fmt.Errorf("unknown arguments %q (the only subcommand is \"metrics\")", fs.Args())
+		switch fs.Arg(0) {
+		case "metrics":
+			if fs.NArg() > 1 {
+				return fmt.Errorf("unknown arguments %q after \"metrics\"", fs.Args()[1:])
+			}
+			*section = "metrics"
+		case "fsck":
+			if fs.NArg() != 2 {
+				return fmt.Errorf("usage: loam-inspect fsck <store-dir>")
+			}
+			return fsck(out, fs.Arg(1))
+		default:
+			return fmt.Errorf("unknown arguments %q (subcommands: \"metrics\", \"fsck <store-dir>\")", fs.Args())
 		}
-		*section = "metrics"
 	}
 
 	sim := loam.NewSimulation(*seed, loam.DefaultSimulationConfig())
@@ -93,6 +112,20 @@ func run(args []string, out, errw io.Writer) error {
 		if err := metricsDemo(out, sim, ps); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// fsck checks a durable store offline and renders the deterministic report;
+// a store with integrity problems makes the command exit non-zero.
+func fsck(out io.Writer, dir string) error {
+	if _, err := os.Stat(dir); err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	rep := durable.Fsck(dir)
+	rep.Render(out)
+	if !rep.OK() {
+		return fmt.Errorf("fsck: %d problem(s) in %s", len(rep.Problems), dir)
 	}
 	return nil
 }

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"loam"
 )
 
 func TestInspectAllSections(t *testing.T) {
@@ -84,5 +88,107 @@ func TestInspectRejectsUnknownSubcommand(t *testing.T) {
 	var out, errw bytes.Buffer
 	if err := run([]string{"bogus"}, &out, &errw); err == nil {
 		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+// fsckStore deploys a tiny durable deployment and returns its store dir.
+func fsckStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	sim := loam.NewSimulation(7, loam.DefaultSimulationConfig())
+	cfg := loam.DefaultProjectConfig("fsck")
+	cfg.Archetype.NumTables = 8
+	cfg.Workload.NumTemplates = 4
+	cfg.Workload.QueriesPerDayMean = 4
+	ps := sim.AddProject(cfg)
+	ps.RunDays(0, 5)
+	dcfg := loam.DefaultDeployConfig()
+	dcfg.TrainDays = 4
+	dcfg.TestDays = 1
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 4
+	dep, err := ps.Deploy(dcfg, loam.WithDurableStore(dir))
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	for i, q := range ps.Gen.Day(5) {
+		if i == 3 {
+			break
+		}
+		c, err := dep.Optimize(q)
+		if err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
+		dep.ExecuteChoice(c)
+	}
+	return dir
+}
+
+// TestInspectFsckCleanStore pins the fsck subcommand's happy path: a freshly
+// checkpointed store reports ok, and two invocations print byte-identical
+// reports.
+func TestInspectFsckCleanStore(t *testing.T) {
+	dir := fsckStore(t)
+	check := func() string {
+		var out, errw bytes.Buffer
+		if err := run([]string{"fsck", dir}, &out, &errw); err != nil {
+			t.Fatalf("fsck: %v\n%s", err, out.String())
+		}
+		return out.String()
+	}
+	first := check()
+	for _, want := range []string{
+		"fsck ok",
+		"manifest seq=1 version=1 parent=0 next=2 event=deploy",
+		"snapshot ",
+		"journal segments=1",
+	} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("report missing %q:\n%s", want, first)
+		}
+	}
+	if again := check(); again != first {
+		t.Fatalf("fsck reports differ across runs:\n--- 1 ---\n%s\n--- 2 ---\n%s", first, again)
+	}
+}
+
+// TestInspectFsckCorruptStore pins the exit contract: a bit-flipped snapshot
+// renders a CORRUPT report and makes run return an error (exit 1 in main).
+func TestInspectFsckCorruptStore(t *testing.T) {
+	dir := fsckStore(t)
+	ents, err := os.ReadDir(filepath.Join(dir, "models"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("models dir: %v", err)
+	}
+	path := filepath.Join(dir, "models", ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"fsck", dir}, &out, &errw); err == nil {
+		t.Fatalf("corrupt store passed fsck:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "fsck CORRUPT") || !strings.Contains(s, "checksum") {
+		t.Fatalf("corrupt report incomplete:\n%s", s)
+	}
+}
+
+func TestInspectFsckMissingDir(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"fsck", filepath.Join(t.TempDir(), "nope")}, &out, &errw); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestInspectFsckUsage(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"fsck"}, &out, &errw); err == nil {
+		t.Fatal("fsck without a dir accepted")
 	}
 }

@@ -17,7 +17,12 @@
 //   - inferencepurity: serving-path code (internal/guard, and predictor
 //     functions reachable from the serving entry points) never constructs
 //     gradient-tracked tensors or invokes autograd backpropagation
+//   - iodiscipline: raw file writes (os.WriteFile/Create/Rename) outside
+//     internal/atomicio flow through atomicio.FS, so every durable artifact
+//     gets the atomic temp+fsync+rename treatment the crash-recovery
+//     contract assumes
 //
+
 // Findings are reported as "file:line: [rule] message". Intentional
 // exceptions live in the commented allowlist (see allowlist.go), never in
 // analyzer logic. The suite runs as cmd/loam-vet from `make lint`.
@@ -65,6 +70,7 @@ func Analyzers() []*Analyzer {
 		AllocDiscipline(),
 		LockOrder(),
 		CtxFlow(),
+		IODiscipline(),
 	}
 }
 

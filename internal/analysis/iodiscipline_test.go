@@ -1,0 +1,82 @@
+package analysis
+
+import "testing"
+
+// TestIODiscipline pins the durability seam: raw os write primitives are
+// confined to internal/atomicio, everywhere else they are findings.
+func TestIODiscipline(t *testing.T) {
+	t.Run("raw writes outside atomicio are flagged", func(t *testing.T) {
+		prog := fixture(t, map[string]string{"store.go": `package root
+import "os"
+func save(path string, data []byte) error {
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil {
+		return err
+	}
+	if _, err := os.Create(path + ".lock"); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+`})
+		wantFindings(t, runOne(prog, IODiscipline()), [][2]string{
+			{"iodiscipline", "os.WriteFile outside internal/atomicio truncates in place"},
+			{"iodiscipline", "os.Create outside internal/atomicio opens an unsynced truncating handle"},
+			{"iodiscipline", "os.Rename outside internal/atomicio publishes a file that was never fsynced"},
+		})
+	})
+	t.Run("the atomicio package is exempt", func(t *testing.T) {
+		prog := fixture(t, map[string]string{"internal/atomicio/atomicio.go": `package atomicio
+import "os"
+func commit(tmp, path string, data []byte) error {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+`})
+		wantFindings(t, runOne(prog, IODiscipline()), nil)
+	})
+	t.Run("test files are exempt", func(t *testing.T) {
+		prog := fixture(t, map[string]string{"corrupt_test.go": `package root
+import "os"
+func flip(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+`})
+		wantFindings(t, runOne(prog, IODiscipline()), nil)
+	})
+	t.Run("an import alias does not hide the call", func(t *testing.T) {
+		prog := fixture(t, map[string]string{"store.go": `package root
+import osfs "os"
+func save(path string, data []byte) error { return osfs.WriteFile(path, data, 0o644) }
+`})
+		wantFindings(t, runOne(prog, IODiscipline()), [][2]string{
+			{"iodiscipline", "os.WriteFile outside internal/atomicio truncates in place"},
+		})
+	})
+	t.Run("a function value smuggling the primitive is flagged once", func(t *testing.T) {
+		prog := fixture(t, map[string]string{"store.go": `package root
+import "os"
+var write = os.WriteFile
+func save(path string, data []byte) error { return write(path, data, 0o644) }
+`})
+		wantFindings(t, runOne(prog, IODiscipline()), [][2]string{
+			{"iodiscipline", "function value os.WriteFile smuggles the raw write primitive"},
+		})
+	})
+	t.Run("reads and unrelated methods stay silent", func(t *testing.T) {
+		prog := fixture(t, map[string]string{"store.go": `package root
+import "os"
+type builder struct{}
+func (builder) Create() {}
+func load(path string, b builder) ([]byte, error) {
+	b.Create()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(path)
+}
+`})
+		wantFindings(t, runOne(prog, IODiscipline()), nil)
+	})
+}

@@ -1,0 +1,96 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"loam/internal/atomicio"
+	"loam/internal/telemetry"
+)
+
+// GrantEntry is one tenant's persisted plan-cache grant.
+type GrantEntry struct {
+	Name    string `json:"name"`
+	Granted int64  `json:"granted"`
+}
+
+// GrantTable is the fleet registry's durable cache-budget state: the global
+// budget and every tenant's grant, sorted by name so identical states
+// serialize identically.
+type GrantTable struct {
+	Budget int64        `json:"budget"`
+	Grants []GrantEntry `json:"grants"`
+}
+
+// FleetStore persists a fleet registry's grant table so Rebalance budgets
+// survive restarts. It shares the durable layout conventions (one
+// checksummed frame, atomic swap) but roots its own directory — a registry
+// is not a deployment.
+type FleetStore struct {
+	dir      string
+	fs       *atomicio.FS
+	saves    *telemetry.Counter
+	restores *telemetry.Counter
+	errs     *telemetry.Counter
+}
+
+// OpenFleet roots a fleet store at dir, creating it on first use.
+func OpenFleet(dir string, fs *atomicio.FS) (*FleetStore, error) {
+	if fs == nil {
+		fs = atomicio.Default
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: mkdir %s: %w", dir, err)
+	}
+	return &FleetStore{dir: dir, fs: fs}, nil
+}
+
+// Instrument wires the fleet store's durable.grants.* metrics into reg.
+func (f *FleetStore) Instrument(reg *telemetry.Registry) {
+	f.saves = reg.Counter("durable.grants.saves")
+	f.restores = reg.Counter("durable.grants.restores")
+	f.errs = reg.Counter("durable.errors")
+}
+
+// SaveGrants atomically replaces the grant table. Entries are sorted by
+// name before writing; the caller's slice is not modified.
+func (f *FleetStore) SaveGrants(t GrantTable) error {
+	grants := append([]GrantEntry(nil), t.Grants...)
+	sort.Slice(grants, func(i, j int) bool { return grants[i].Name < grants[j].Name })
+	t.Grants = grants
+	payload, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("durable: marshal grants: %w", err)
+	}
+	if err := f.fs.WriteFile(filepath.Join(f.dir, grantsFile), atomicio.EncodeFrame(payload)); err != nil {
+		f.errs.Inc()
+		return fmt.Errorf("durable: save grants: %w", err)
+	}
+	f.saves.Inc()
+	return nil
+}
+
+// LoadGrants returns the persisted grant table, or nil if none was ever
+// saved. A table that fails its frame checksum is ErrCorruptStore.
+func (f *FleetStore) LoadGrants() (*GrantTable, error) {
+	data, err := os.ReadFile(filepath.Join(f.dir, grantsFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: read grants: %w", err)
+	}
+	payload, rest, err := atomicio.DecodeFrame(data)
+	if err != nil || len(rest) != 0 {
+		return nil, fmt.Errorf("%w: grants frame: %v", ErrCorruptStore, err)
+	}
+	var t GrantTable
+	if err := json.Unmarshal(payload, &t); err != nil {
+		return nil, fmt.Errorf("%w: grants payload: %v", ErrCorruptStore, err)
+	}
+	f.restores.Inc()
+	return &t, nil
+}

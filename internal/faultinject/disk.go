@@ -1,0 +1,164 @@
+package faultinject
+
+// Disk fault injection for the durability layer (internal/durable via
+// internal/atomicio). Two deterministic instruments:
+//
+//   - KillPoint: a countdown hook that crashes the process (atomicio's
+//     *Crash panic) at exactly the Nth durable write operation, with a
+//     chosen crash flavor. The chaos harness (loam-bench -run recover)
+//     enumerates N over a run's full write schedule to prove recovery from
+//     every write point.
+//   - DiskHook: a rate-based hook whose per-op decisions are pure functions
+//     of (seed, op, sequence number) — same-seed runs corrupt the same
+//     writes, keeping trajectories byte-identical.
+//
+// Both count operations in the order the FS issues them; since the durable
+// layer serializes its writes under the lifecycle lock, the count is
+// deterministic for a deterministic workload.
+
+import (
+	"sync/atomic"
+
+	"loam/internal/atomicio"
+	"loam/internal/simrand"
+)
+
+// CrashFlavor selects how a kill point lands.
+type CrashFlavor int
+
+const (
+	// FlavorBefore crashes before any byte of the op reaches disk.
+	FlavorBefore CrashFlavor = iota
+	// FlavorTorn crashes mid-write, landing a torn prefix.
+	FlavorTorn
+	// FlavorAfterTemp crashes with the temp file complete but the rename
+	// pending (for appends: after a complete, synced append).
+	FlavorAfterTemp
+	numFlavors
+)
+
+// String renders the flavor's stable label.
+func (f CrashFlavor) String() string {
+	switch f {
+	case FlavorTorn:
+		return "torn"
+	case FlavorAfterTemp:
+		return "after-temp"
+	default:
+		return "before"
+	}
+}
+
+// FlavorFor deterministically assigns a crash flavor to kill point n,
+// cycling through all flavors so a kill-point sweep exercises each.
+func FlavorFor(n int) CrashFlavor { return CrashFlavor(n % int(numFlavors)) }
+
+// decisionFor translates a flavor into the atomicio decision. Torn writes
+// keep a pseudo-random prefix derived from (seed, n) so sweeps tear at
+// varied offsets, deterministically.
+func decisionFor(f CrashFlavor, seed uint64, n int) atomicio.Decision {
+	switch f {
+	case FlavorTorn:
+		keep := simrand.New(seed).DeriveN("tornkeep", n).Intn(61)
+		return atomicio.Decision{Outcome: atomicio.CrashTorn, KeepBytes: keep}
+	case FlavorAfterTemp:
+		return atomicio.Decision{Outcome: atomicio.CrashAfterTemp}
+	default:
+		return atomicio.Decision{Outcome: atomicio.CrashBefore}
+	}
+}
+
+// KillPoint is an atomicio.Hook that lets writes 1..N-1 proceed and crashes
+// write N with the configured flavor. Ops is the number of write operations
+// observed so far (readable after the crash to size a sweep).
+type KillPoint struct {
+	seed   uint64
+	at     int
+	flavor CrashFlavor
+	ops    atomic.Int64
+}
+
+// NewKillPoint returns a hook that crashes the at-th write op (1-based);
+// at <= 0 never crashes, which is how a baseline run counts its write
+// schedule.
+func NewKillPoint(seed uint64, at int, flavor CrashFlavor) *KillPoint {
+	return &KillPoint{seed: seed, at: at, flavor: flavor}
+}
+
+// Ops returns how many write operations the hook has observed.
+func (k *KillPoint) Ops() int { return int(k.ops.Load()) }
+
+// Decide implements atomicio.Hook.
+func (k *KillPoint) Decide(op atomicio.Op, path string) atomicio.Decision {
+	n := int(k.ops.Add(1))
+	if k.at > 0 && n == k.at {
+		return decisionFor(k.flavor, k.seed, n)
+	}
+	return atomicio.Decision{}
+}
+
+// DiskConfig sets rate-based disk corruption. Rates are probabilities in
+// [0, 1] rolled per write operation.
+type DiskConfig struct {
+	// TornWriteRate crashes a write mid-stream, leaving a torn prefix.
+	TornWriteRate float64
+	// PartialRenameRate crashes with the temp file durable but the rename
+	// pending.
+	PartialRenameRate float64
+	// BitFlipRate completes the write but flips one deterministic bit —
+	// silent corruption the read-side checksums must catch.
+	BitFlipRate float64
+}
+
+// DiskHook is a rate-based atomicio.Hook. Each write op rolls once per
+// fault kind on a stream derived from (seed, kind, op sequence), so
+// decisions replay identically for a same-seed run.
+type DiskHook struct {
+	root *simrand.RNG
+	cfg  DiskConfig
+	ops  atomic.Int64
+}
+
+// NewDiskHook returns a hook whose corruption decisions derive from seed.
+func NewDiskHook(seed uint64, cfg DiskConfig) *DiskHook {
+	return &DiskHook{root: simrand.New(seed), cfg: cfg}
+}
+
+// Decide implements atomicio.Hook.
+func (h *DiskHook) Decide(op atomicio.Op, path string) atomicio.Decision {
+	n := h.ops.Add(1)
+	id := op.String() + ":" + itoa(n)
+	roll := func(kind string, rate float64) bool {
+		if rate <= 0 {
+			return false
+		}
+		if rate >= 1 {
+			return true
+		}
+		return h.root.Derive(kind+":"+id).Float64() < rate
+	}
+	switch {
+	case roll("torn", h.cfg.TornWriteRate):
+		return atomicio.Decision{Outcome: atomicio.CrashTorn, KeepBytes: int(n) % 61}
+	case roll("rename", h.cfg.PartialRenameRate):
+		return atomicio.Decision{Outcome: atomicio.CrashAfterTemp}
+	case roll("bitflip", h.cfg.BitFlipRate):
+		return atomicio.Decision{Outcome: atomicio.BitFlip, FlipBit: int(n) * 13}
+	}
+	return atomicio.Decision{}
+}
+
+// itoa avoids strconv for a hot tiny path.
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

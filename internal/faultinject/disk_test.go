@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loam/internal/atomicio"
+)
+
+func TestKillPointCrashesExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	kp := NewKillPoint(7, 3, FlavorBefore)
+	fs := atomicio.NewFS(kp)
+	for i := 0; i < 2; i++ {
+		if err := fs.WriteFile(filepath.Join(dir, "f"), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	func() {
+		defer func() {
+			if _, ok := recover().(*atomicio.Crash); !ok {
+				t.Fatal("third write should crash")
+			}
+		}()
+		fs.WriteFile(filepath.Join(dir, "f"), []byte("x"))
+	}()
+	if kp.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", kp.Ops())
+	}
+}
+
+func TestKillPointBaselineCountsWithoutCrashing(t *testing.T) {
+	dir := t.TempDir()
+	kp := NewKillPoint(7, 0, FlavorBefore)
+	fs := atomicio.NewFS(kp)
+	for i := 0; i < 5; i++ {
+		if err := fs.WriteFile(filepath.Join(dir, "f"), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kp.Ops() != 5 {
+		t.Fatalf("ops = %d, want 5", kp.Ops())
+	}
+}
+
+func TestFlavorForCyclesAllFlavors(t *testing.T) {
+	seen := map[CrashFlavor]bool{}
+	for n := 0; n < int(numFlavors); n++ {
+		seen[FlavorFor(n)] = true
+	}
+	if len(seen) != int(numFlavors) {
+		t.Fatalf("FlavorFor covers %d flavors, want %d", len(seen), numFlavors)
+	}
+}
+
+func TestTornDecisionIsDeterministic(t *testing.T) {
+	a := decisionFor(FlavorTorn, 42, 5)
+	b := decisionFor(FlavorTorn, 42, 5)
+	if a != b {
+		t.Fatalf("same (seed, n) produced %+v vs %+v", a, b)
+	}
+	if a.Outcome != atomicio.CrashTorn {
+		t.Fatalf("outcome = %v, want CrashTorn", a.Outcome)
+	}
+}
+
+func TestDiskHookSameSeedSameDecisions(t *testing.T) {
+	cfg := DiskConfig{TornWriteRate: 0.2, PartialRenameRate: 0.2, BitFlipRate: 0.2}
+	a, b := NewDiskHook(11, cfg), NewDiskHook(11, cfg)
+	for i := 0; i < 200; i++ {
+		da := a.Decide(atomicio.OpWriteFile, "p")
+		db := b.Decide(atomicio.OpWriteFile, "p")
+		if da != db {
+			t.Fatalf("op %d: %+v vs %+v", i, da, db)
+		}
+	}
+	// A different seed diverges somewhere in the run.
+	c := NewDiskHook(12, cfg)
+	diverged := false
+	a2 := NewDiskHook(11, cfg)
+	for i := 0; i < 200; i++ {
+		if a2.Decide(atomicio.OpWriteFile, "p") != c.Decide(atomicio.OpWriteFile, "p") {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds never diverged")
+	}
+}
+
+func TestDiskHookBitFlipSurfacesOnRead(t *testing.T) {
+	dir := t.TempDir()
+	fs := atomicio.NewFS(NewDiskHook(3, DiskConfig{BitFlipRate: 1}))
+	path := filepath.Join(dir, "f")
+	payload := atomicio.EncodeFrame([]byte("checksummed payload"))
+	if err := fs.WriteFile(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := atomicio.DecodeFrame(data); err == nil {
+		t.Fatal("bit flip went undetected by the frame checksum")
+	}
+}

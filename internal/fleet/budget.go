@@ -103,6 +103,51 @@ func (r *Registry) Rebalance() {
 	r.tel.grantedGauge.Set(float64(granted))
 }
 
+// ApplyGrants installs a saved grant table — the fleet's warm-restore path
+// after a restart. Tenants are visited in sorted name order; a tenant named
+// in grants takes that grant, one absent from the table keeps its current
+// grant, and every grant is clamped so the running total never exceeds the
+// budget. Unknown names in grants (tenants deregistered since the save) are
+// ignored. The granted sum is recomputed from what was actually applied, so
+// the Granted <= Budget invariant holds whatever the table says.
+func (r *Registry) ApplyGrants(grants map[string]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var ts []*tenant
+	for _, sh := range r.shards {
+		m := *sh.view.Load()
+		for _, t := range m {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+
+	granted := 0
+	for _, t := range ts {
+		g, ok := grants[t.name]
+		if !ok {
+			g = t.grant
+		}
+		if g < 0 {
+			g = 0
+		}
+		if free := r.cfg.CacheBudget - granted; g > free {
+			g = free
+		}
+		granted += g
+		if g != t.grant {
+			sh := r.shardFor(t.name)
+			sh.mu.Lock()
+			t.setGrant(g)
+			sh.mu.Unlock()
+			r.tel.grantChanges.Inc()
+		}
+	}
+	r.granted = granted
+	r.tel.grantedGauge.Set(float64(granted))
+}
+
 // BudgetStatus is a point-in-time view of the global cache budget.
 type BudgetStatus struct {
 	// Budget is the configured global entry budget.

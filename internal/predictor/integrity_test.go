@@ -1,0 +1,176 @@
+package predictor
+
+// Pinned tests for the snapshot corruption taxonomy (ISSUE 9): integrity
+// failures (bad checksum, truncated frame, unrecognizable header) must wrap
+// BOTH ErrSnapshotIntegrity and ErrCorruptSnapshot; structural failures stay
+// ErrCorruptSnapshot-only; legacy v1 bare-JSON snapshots still load.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"loam/internal/atomicio"
+	"loam/internal/encoding"
+)
+
+// trainedSnapshotBytes trains a tiny TCN and returns the predictor plus its
+// framed v2 snapshot bytes.
+func trainedSnapshotBytes(t *testing.T) (*Predictor, []byte) {
+	t.Helper()
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 24)
+	orig, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return orig, buf.Bytes()
+}
+
+// wantIntegrity asserts err matches both sentinels.
+func wantIntegrity(t *testing.T, err error, what string) {
+	t.Helper()
+	if !errors.Is(err, ErrSnapshotIntegrity) {
+		t.Fatalf("%s: want ErrSnapshotIntegrity, got %v", what, err)
+	}
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("%s: integrity error must also match ErrCorruptSnapshot, got %v", what, err)
+	}
+}
+
+func TestLoadIntegrityTruncationEveryBoundary(t *testing.T) {
+	_, framed := trainedSnapshotBytes(t)
+	// Every truncation point — inside the magic, inside the frame header,
+	// inside the payload — must fail as an integrity error, never load a
+	// partial model, and never panic.
+	for n := 0; n < len(framed); n++ {
+		_, err := Load(bytes.NewReader(framed[:n]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d loaded successfully", n)
+		}
+		wantIntegrity(t, err, "truncation")
+	}
+	if _, err := Load(bytes.NewReader(framed)); err != nil {
+		t.Fatalf("untruncated snapshot: %v", err)
+	}
+}
+
+func TestLoadIntegrityBitFlip(t *testing.T) {
+	_, framed := trainedSnapshotBytes(t)
+	// Stride across the file so the flips land in the magic, the frame
+	// header, and the payload body; every single-bit flip must surface as
+	// corruption (the JSON payload has no slack bits: length and checksum
+	// guard all of it).
+	stride := len(framed) * 8 / 257
+	if stride < 1 {
+		stride = 1
+	}
+	for bit := 0; bit < len(framed)*8; bit += stride {
+		mut := append([]byte(nil), framed...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		_, err := Load(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("bit flip at %d loaded successfully", bit)
+		}
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("bit flip at %d: want ErrCorruptSnapshot, got %v", bit, err)
+		}
+	}
+}
+
+func TestLoadIntegrityChecksumMismatch(t *testing.T) {
+	_, framed := trainedSnapshotBytes(t)
+	// Flip a payload bit specifically (past magic + frame header): the frame
+	// length still matches, so the failure is the checksum — the pure
+	// bit-rot case.
+	mut := append([]byte(nil), framed...)
+	mut[len(mut)-1] ^= 0x01
+	_, err := Load(bytes.NewReader(mut))
+	wantIntegrity(t, err, "payload bit rot")
+	if !errors.Is(err, atomicio.ErrChecksum) {
+		t.Fatalf("payload bit rot: want ErrChecksum in chain, got %v", err)
+	}
+}
+
+func TestStructuralErrorIsNotIntegrity(t *testing.T) {
+	snap := savedSnapshot(t, KindTCN)
+	var params [][]float64
+	if err := json.Unmarshal(snap["params"], &params); err != nil {
+		t.Fatal(err)
+	}
+	params = params[:len(params)-1]
+	trunc, err := json.Marshal(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap["params"] = trunc
+	lerr := loadSnapshot(t, snap)
+	if !errors.Is(lerr, ErrCorruptSnapshot) {
+		t.Fatalf("want ErrCorruptSnapshot, got %v", lerr)
+	}
+	if errors.Is(lerr, ErrSnapshotIntegrity) {
+		t.Fatalf("structural mismatch must not claim an integrity failure: %v", lerr)
+	}
+}
+
+func TestLoadV1Compat(t *testing.T) {
+	orig, framed := trainedSnapshotBytes(t)
+	// Reconstruct the legacy v1 form: bare JSON, version 1, no model field.
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(framedPayload(t, framed), &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap["version"] = json.RawMessage("1")
+	delete(snap, "model")
+	v1, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 snapshot should load: %v", err)
+	}
+	if loaded.ModelVersion() != 0 {
+		t.Fatalf("v1 snapshot model version = %d, want 0 (untracked)", loaded.ModelVersion())
+	}
+	envs := encoding.FixedEnv(orig.TrainMeanEnv())
+	samples, _ := synthetic(40, 24)
+	for i := 0; i < 5; i++ {
+		if want, got := orig.PredictCost(samples[i].Plan, envs), loaded.PredictCost(samples[i].Plan, envs); want != got {
+			t.Fatalf("v1 round trip changed prediction: %g vs %g", want, got)
+		}
+	}
+
+	// A v1 payload claiming a later version must be rejected, not guessed at.
+	snap["version"] = json.RawMessage("3")
+	v3, _ := json.Marshal(snap)
+	if _, err := Load(bytes.NewReader(v3)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("bare-JSON v3: want ErrCorruptSnapshot, got %v", err)
+	}
+}
+
+func TestModelVersionRoundTrip(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 25)
+	orig, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.SetModelVersion(7)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ModelVersion() != 7 {
+		t.Fatalf("model version = %d, want 7", loaded.ModelVersion())
+	}
+}

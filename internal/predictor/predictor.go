@@ -105,6 +105,12 @@ type Predictor struct {
 
 	metrics Metrics
 	tel     predictorTelemetry
+
+	// modelVersion is the lifecycle lineage number this predictor serves as
+	// (0 = untracked). It rides inside the serialized snapshot so
+	// SaveModel/DeployFromModel and the durable store round-trip lineage;
+	// see serialize.go.
+	modelVersion int
 }
 
 // predictorTelemetry holds the predictor's resolved instruments; every field

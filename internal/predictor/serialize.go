@@ -1,11 +1,13 @@
 package predictor
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 
+	"loam/internal/atomicio"
 	"loam/internal/encoding"
 	"loam/internal/nn"
 	"loam/internal/simrand"
@@ -16,7 +18,11 @@ import (
 // stored as a flat list in the architecture's deterministic parameter order;
 // Load rebuilds the architecture from Config and overwrites the weights.
 type snapshot struct {
-	Version int             `json:"version"`
+	Version int `json:"version"`
+	// Model is the lifecycle lineage number (model.version) the predictor
+	// was serving as when saved; 0 means untracked (v1 snapshots, or a
+	// predictor trained outside a lifecycle).
+	Model   int             `json:"model,omitempty"`
 	Config  Config          `json:"config"`
 	Encoder encoding.Config `json:"encoder"`
 	MuY     float64         `json:"muY"`
@@ -30,7 +36,19 @@ type snapshot struct {
 	XGB json.RawMessage `json:"xgb,omitempty"`
 }
 
-const snapshotVersion = 1
+// Snapshot format history:
+//
+//	v1 — bare JSON object (no framing, no checksum, no model version).
+//	v2 — snapshotMagic followed by one atomicio frame whose payload is the
+//	     JSON object; the frame checksum makes bit rot and truncation
+//	     detectable before the decoder runs, and the object carries the
+//	     lifecycle model version.
+//
+// Save always writes the current version; Load accepts both.
+const (
+	snapshotVersion = 2
+	snapshotMagic   = "LOAMSNP2"
+)
 
 // ErrCorruptSnapshot marks a snapshot whose payload disagrees with the
 // architecture its own config describes — truncated or missing tensors,
@@ -39,6 +57,27 @@ const snapshotVersion = 1
 // any DeployFromModel caller) matches it with errors.Is to tell corruption
 // from I/O failures; a Load that returns it has mutated nothing.
 var ErrCorruptSnapshot = errors.New("predictor: corrupt model snapshot")
+
+// ErrSnapshotIntegrity marks a snapshot whose bytes failed verification
+// before decoding — a frame checksum mismatch, a truncated frame, or an
+// unrecognizable header. Integrity errors also wrap ErrCorruptSnapshot, so
+// existing errors.Is(err, ErrCorruptSnapshot) callers keep matching; fsck
+// and the durable store match ErrSnapshotIntegrity to report media
+// corruption distinctly from structural mismatch.
+var ErrSnapshotIntegrity = errors.New("predictor: snapshot failed integrity check")
+
+// integrityErr wraps both sentinels (multi-%w) around a detail error.
+func integrityErr(detail error) error {
+	return fmt.Errorf("%w: %w: %w", ErrSnapshotIntegrity, ErrCorruptSnapshot, detail)
+}
+
+// ModelVersion reports the lifecycle lineage number the predictor carries
+// (0 = untracked).
+func (p *Predictor) ModelVersion() int { return p.modelVersion }
+
+// SetModelVersion stamps the lineage number serialized by Save. The
+// lifecycle calls it at train/promote time; it must not race with Save.
+func (p *Predictor) SetModelVersion(v int) { p.modelVersion = v }
 
 // allParams returns the predictor's trainable tensors in a deterministic
 // order (backbone, cost head, domain classifier).
@@ -50,10 +89,12 @@ func (p *Predictor) allParams() []*nn.Tensor {
 	return params
 }
 
-// Save serializes the trained predictor to w as JSON.
+// Save serializes the trained predictor to w in the v2 framed format: the
+// magic header followed by one checksummed frame carrying the JSON snapshot.
 func (p *Predictor) Save(w io.Writer) error {
 	snap := snapshot{
 		Version: snapshotVersion,
+		Model:   p.modelVersion,
 		Config:  p.cfg,
 		Encoder: p.encCfg,
 		MuY:     p.muY,
@@ -72,19 +113,61 @@ func (p *Predictor) Save(w io.Writer) error {
 			snap.Params = append(snap.Params, append([]float64(nil), t.Data...))
 		}
 	}
-	return json.NewEncoder(w).Encode(snap)
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("marshal snapshot: %w", err)
+	}
+	out := append([]byte(snapshotMagic), atomicio.EncodeFrame(payload)...)
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	return nil
 }
 
-// Load restores a predictor saved with Save. The returned predictor serves
-// predictions exactly as the original did.
+// Load restores a predictor saved with Save. It accepts both the current
+// framed format and legacy v1 bare-JSON snapshots. The returned predictor
+// serves predictions exactly as the original did.
 func Load(r io.Reader) (*Predictor, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("read snapshot: %w", err)
+	}
 	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("decode snapshot: %w", err)
+	switch {
+	case bytes.HasPrefix(data, []byte(snapshotMagic)):
+		payload, rest, err := atomicio.DecodeFrame(data[len(snapshotMagic):])
+		if err != nil {
+			return nil, integrityErr(err)
+		}
+		if len(rest) != 0 {
+			return nil, integrityErr(fmt.Errorf("%d trailing bytes after snapshot frame", len(rest)))
+		}
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			// The frame checksum passed, so this is a writer bug, not media
+			// corruption — structural, not integrity.
+			return nil, fmt.Errorf("%w: decode snapshot: %v", ErrCorruptSnapshot, err)
+		}
+		if snap.Version != snapshotVersion {
+			return nil, fmt.Errorf("%w: framed snapshot declares version %d, want %d",
+				ErrCorruptSnapshot, snap.Version, snapshotVersion)
+		}
+	case len(data) > 0 && data[0] == '{':
+		// Legacy v1: bare JSON, no checksum to verify first.
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("%w: decode v1 snapshot: %v", ErrCorruptSnapshot, err)
+		}
+		if snap.Version != 1 {
+			return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorruptSnapshot, snap.Version)
+		}
+	default:
+		// Neither magic nor JSON: truncated below the header, or garbage.
+		return nil, integrityErr(fmt.Errorf("unrecognized snapshot header (%d bytes)", len(data)))
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("unsupported snapshot version %d", snap.Version)
-	}
+	return rebuildSnapshot(&snap)
+}
+
+// rebuildSnapshot rebuilds a predictor from a decoded snapshot.
+func rebuildSnapshot(snap *snapshot) (*Predictor, error) {
 	p := &Predictor{
 		cfg:          snap.Config,
 		enc:          encoding.NewEncoder(snap.Encoder),
@@ -93,6 +176,7 @@ func Load(r io.Reader) (*Predictor, error) {
 		sigmaY:       snap.SigmaY,
 		trainMeanEnv: snap.MeanEnv,
 		metrics:      snap.Metrics,
+		modelVersion: snap.Model,
 	}
 	if snap.Config.Kind == KindXGBoost {
 		if len(snap.XGB) == 0 {

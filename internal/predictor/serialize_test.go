@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"loam/internal/atomicio"
 	"loam/internal/encoding"
 )
 
@@ -53,26 +54,32 @@ func TestLoadRejectsGarbage(t *testing.T) {
 }
 
 func TestLoadRejectsTamperedParams(t *testing.T) {
-	enc := encoding.NewEncoder(encoding.DefaultConfig())
-	samples, _ := synthetic(40, 22)
-	orig, err := Train(tinyConfig(KindTCN), enc, samples, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := orig.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	// Truncate the parameter list.
-	s := buf.String()
-	s = strings.Replace(s, `"params":[[`, `"params":[[9],[`, 1)
-	if _, err := Load(strings.NewReader(s)); err == nil {
-		t.Fatal("mismatched tensor shapes should fail")
+	snap := savedSnapshot(t, KindTCN)
+	// Prepend a bogus one-element tensor: tensor count no longer matches the
+	// architecture.
+	tampered := strings.Replace(string(snap["params"]), `[[`, `[[9],[`, 1)
+	snap["params"] = json.RawMessage(tampered)
+	if err := loadSnapshot(t, snap); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("mismatched tensor shapes: want ErrCorruptSnapshot, got %v", err)
 	}
 }
 
+// framedPayload splits a Save output into its JSON payload, failing the test
+// on any framing error.
+func framedPayload(t *testing.T, framed []byte) []byte {
+	t.Helper()
+	if !bytes.HasPrefix(framed, []byte(snapshotMagic)) {
+		t.Fatalf("snapshot missing magic header")
+	}
+	payload, rest, err := atomicio.DecodeFrame(framed[len(snapshotMagic):])
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode snapshot frame: err=%v rest=%d", err, len(rest))
+	}
+	return payload
+}
+
 // savedSnapshot trains a tiny model of the given kind and returns its
-// decoded snapshot for tampering.
+// decoded snapshot payload for tampering.
 func savedSnapshot(t *testing.T, kind Kind) map[string]json.RawMessage {
 	t.Helper()
 	enc := encoding.NewEncoder(encoding.DefaultConfig())
@@ -86,20 +93,23 @@ func savedSnapshot(t *testing.T, kind Kind) map[string]json.RawMessage {
 		t.Fatal(err)
 	}
 	var snap map[string]json.RawMessage
-	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+	if err := json.Unmarshal(framedPayload(t, buf.Bytes()), &snap); err != nil {
 		t.Fatal(err)
 	}
 	return snap
 }
 
-// loadSnapshot re-encodes a (tampered) snapshot map and runs Load on it.
+// loadSnapshot re-frames a (tampered) snapshot map and runs Load on it. The
+// frame checksum is recomputed over the tampered payload, so structural
+// validation — not the integrity check — is what these tests exercise.
 func loadSnapshot(t *testing.T, snap map[string]json.RawMessage) error {
 	t.Helper()
 	data, err := json.Marshal(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, lerr := Load(bytes.NewReader(data))
+	framed := append([]byte(snapshotMagic), atomicio.EncodeFrame(data)...)
+	_, lerr := Load(bytes.NewReader(framed))
 	return lerr
 }
 

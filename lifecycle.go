@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"loam/internal/durable"
 	"loam/internal/encoding"
 	"loam/internal/exec"
 	"loam/internal/feedback"
@@ -222,6 +223,9 @@ func (lc *Lifecycle) observe(c *Choice, rec *exec.Record) {
 	lc.store.Add(feedback.Entry{Query: c.Query, Record: rec, Predicted: predicted})
 	lc.tel.feedbackHarvested.Inc()
 	lc.tel.feedbackSize.Set(float64(lc.store.Len()))
+	// Journal before the detector reacts: if the reaction checkpoints (and
+	// resets the journal), this record was part of the window that reset.
+	lc.d.journalObservation(predicted, rec.CPUCost)
 	lc.reactLocked(lc.det.Observe(predicted, rec.CPUCost))
 }
 
@@ -255,6 +259,7 @@ func (lc *Lifecycle) reactLocked(detectorFired bool) {
 		lc.probationLeft--
 		if lc.probationLeft <= 0 {
 			lc.prev, lc.prevVer = nil, 0
+			lc.persistProbationClear()
 		}
 	}
 }
@@ -344,6 +349,19 @@ func (lc *Lifecycle) promoteLocked(cand *predictor.Predictor, ver int) {
 	lc.det.Reset()
 	lc.tel.promotes.Inc()
 	lc.tel.modelVersion.Set(float64(ver))
+	// Fail-open durable checkpoint: a write error leaves serving untouched
+	// (durable.errors counts it); injected crashes panic through.
+	_ = lc.d.persistCheckpoint(checkpointState{
+		event:        durable.EventPromote,
+		version:      ver,
+		parent:       lc.prevVer,
+		next:         lc.next,
+		cur:          cand,
+		probation:    lc.probationLeft,
+		prev:         lc.prev,
+		prevVer:      lc.prevVer,
+		resetJournal: true,
+	})
 }
 
 // rollbackLocked restores the pre-promote incumbent: the promoted model
@@ -351,6 +369,7 @@ func (lc *Lifecycle) promoteLocked(cand *predictor.Predictor, ver int) {
 // its own plan cache (its weights never changed), and the guard restarts
 // clean around it. Callers hold lc.mu.
 func (lc *Lifecycle) rollbackLocked() {
+	indicted := lc.version
 	lc.version = lc.prevVer
 	lc.d.pred.Store(lc.prev)
 	lc.d.grd.SwapScorer(lc.prev)
@@ -359,6 +378,15 @@ func (lc *Lifecycle) rollbackLocked() {
 	lc.det.Reset()
 	lc.tel.rollbacks.Inc()
 	lc.tel.modelVersion.Set(float64(lc.version))
+	// Fail-open durable checkpoint, as in promoteLocked.
+	_ = lc.d.persistCheckpoint(checkpointState{
+		event:        durable.EventRollback,
+		version:      lc.version,
+		parent:       indicted,
+		next:         lc.next,
+		cur:          lc.d.pred.Load(),
+		resetJournal: true,
+	})
 }
 
 // shadowError replays a feedback window through a model and returns the mean

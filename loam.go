@@ -289,6 +289,9 @@ type Deployment struct {
 	obs servingTelemetry
 	grd *guard.Guard
 	lc  *Lifecycle
+	// dur is the crash-safe persistence seam (WithDurableStore), or nil when
+	// the deployment's continual-learning state is in-memory only.
+	dur *durableState
 }
 
 // Predictor returns the deployment's current serving model. With a lifecycle
@@ -385,6 +388,11 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 	d.pred.Store(pred)
 	d.grd = ps.newGuard(pred, o)
 	d.attachLifecycle(o)
+	if o.durableDir != "" {
+		if err := d.initDurable(o); err != nil {
+			return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
+		}
+	}
 	return d, nil
 }
 
@@ -661,5 +669,10 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 	d.pred.Store(pred)
 	d.grd = ps.newGuard(pred, o)
 	d.attachLifecycle(o)
+	if o.durableDir != "" {
+		if err := d.initDurable(o); err != nil {
+			return nil, fmt.Errorf("restore %s: %w", ps.Config.Name, err)
+		}
+	}
 	return d, nil
 }

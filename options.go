@@ -1,6 +1,7 @@
 package loam
 
 import (
+	"loam/internal/atomicio"
 	"loam/internal/faultinject"
 	"loam/internal/guard"
 	"loam/internal/predictor"
@@ -23,12 +24,14 @@ const DefaultPlanCacheCapacity = 4096
 // (parallelism, selector) only matter to DeployAllCtx; single-project
 // Deploy/DeployFromModel ignore them.
 type deployOptions struct {
-	strategy  predictor.Strategy
-	metrics   *telemetry.Registry
-	guardCfg  guard.Config
-	injector  *faultinject.Injector
-	planCache int
-	lifecycle *LifecycleConfig
+	strategy   predictor.Strategy
+	metrics    *telemetry.Registry
+	guardCfg   guard.Config
+	injector   *faultinject.Injector
+	planCache  int
+	lifecycle  *LifecycleConfig
+	durableDir string
+	durableFS  *atomicio.FS
 
 	parallelism    int
 	selector       bool
@@ -131,6 +134,26 @@ func WithSelector(pass func(*ProjectSim) bool, scores map[string]float64, topN i
 		o.selectorScores = scores
 		o.selectorTopN = topN
 	}
+}
+
+// WithDurableStore roots the deployment's crash-safe persistence at dir (see
+// DESIGN.md "Durability & recovery contract"). Deploy and DeployFromModel
+// commit an initial checkpoint there; with a lifecycle attached, every
+// promote, rollback and probation clearance commits another, and every
+// harvested feedback observation is journaled so the drift detector resumes
+// its real window after a restart. Restore the state with
+// ProjectSim.RestoreDeployment(dir, ...). An empty dir (or no option) keeps
+// the deployment's continual-learning state in memory only.
+func WithDurableStore(dir string) DeployOption {
+	return func(o *deployOptions) { o.durableDir = dir }
+}
+
+// WithDurableFS routes the deployment's durable writes through fs instead of
+// atomicio.Default — the seam chaos tests and the kill-point recovery harness
+// use to inject torn writes, partial renames and crashes at exact write
+// points. Serving code never needs it.
+func WithDurableFS(fs *atomicio.FS) DeployOption {
+	return func(o *deployOptions) { o.durableFS = fs }
 }
 
 // WithFaultInjector arms the deployment with a deterministic fault injector

@@ -1,0 +1,374 @@
+package loam
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loam/internal/durable"
+)
+
+// durableHarness is lifecycleHarness with a durable store rooted in a test
+// dir, returning the option set restore calls must repeat.
+func durableHarness(t *testing.T, seed uint64, lcfg LifecycleConfig) (*ProjectSim, *Deployment, string, []DeployOption) {
+	t.Helper()
+	dir := t.TempDir()
+	gcfg := DefaultGuardConfig()
+	gcfg.DivergenceBand = 0.01
+	gcfg.DivergenceWindow = 4
+	gcfg.QuarantineWindows = 1
+	opts := []DeployOption{
+		WithGuardConfig(gcfg),
+		WithLifecycle(lcfg),
+		WithDurableStore(dir),
+	}
+
+	sim := NewSimulation(seed, DefaultSimulationConfig())
+	cfg := DefaultProjectConfig("dur")
+	cfg.Archetype.NumTables = 12
+	cfg.Workload.NumTemplates = 8
+	cfg.Workload.QueriesPerDayMean = 8
+	ps := sim.AddProject(cfg)
+	ps.RunDays(0, 8)
+
+	dcfg := DefaultDeployConfig()
+	dcfg.TrainDays = 6
+	dcfg.TestDays = 2
+	dcfg.Predictor.Epochs = 3
+	dcfg.DomainPlans = 16
+	dep, err := ps.Deploy(dcfg, opts...)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	return ps, dep, dir, opts
+}
+
+// serveUntilPromoted serves query-by-query until the lifecycle reaches
+// version 2, failing if the serve budget runs out.
+func serveUntilPromoted(t *testing.T, ps *ProjectSim, dep *Deployment) {
+	t.Helper()
+	for day := 8; day < 16; day++ {
+		for _, q := range ps.Gen.Day(day) {
+			c, err := dep.Optimize(q)
+			if err != nil {
+				t.Fatalf("optimize day %d: %v", day, err)
+			}
+			dep.ExecuteChoice(c)
+			if dep.Lifecycle().Version() != 1 {
+				return
+			}
+		}
+	}
+	t.Fatal("no promotion within the serve budget")
+}
+
+func TestDeployCommitsInitialCheckpoint(t *testing.T) {
+	_, dep, dir, _ := durableHarness(t, 31, quickLifecycleConfig())
+	man := dep.dur.store.Manifest()
+	if man == nil || man.Version != 1 || man.Event != durable.EventDeploy || man.Next != 2 {
+		t.Fatalf("initial manifest: %+v", man)
+	}
+	if rep := durable.Fsck(dir); !rep.OK() {
+		t.Fatalf("fsck after deploy: %+v", rep.Problems)
+	}
+	if n := dep.Telemetry().Counter("durable.checkpoints").Value(); n != 1 {
+		t.Fatalf("durable.checkpoints = %d", n)
+	}
+}
+
+func TestRestoreServesLastDurableVersion(t *testing.T) {
+	ps, dep, dir, opts := durableHarness(t, 31, quickLifecycleConfig())
+	serveUntilPromoted(t, ps, dep)
+	man := dep.dur.store.Manifest()
+	if man.Version != 2 || man.Event != durable.EventPromote {
+		t.Fatalf("manifest after promote: %+v", man)
+	}
+	var before bytes.Buffer
+	if err := dep.SaveModel(&before); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+
+	// "Restart": rebuild the deployment from disk alone.
+	dep2, err := ps.RestoreDeployment(dir, 6, 2, opts...)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	lc := dep2.Lifecycle()
+	if v := lc.Version(); v != 2 {
+		t.Fatalf("restored version = %d, want 2", v)
+	}
+	if lc.next != man.Next {
+		t.Fatalf("next counter = %d, want %d", lc.next, man.Next)
+	}
+	if !lc.InProbation() {
+		t.Fatal("restore inside probation must re-arm rollback insurance")
+	}
+	if lc.probationLeft != man.Probation {
+		t.Fatalf("probation budget = %d, want %d", lc.probationLeft, man.Probation)
+	}
+	// The restored serving model is byte-identical to the one that crashed.
+	var after bytes.Buffer
+	if err := dep2.SaveModel(&after); err != nil {
+		t.Fatalf("save restored: %v", err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("restored model differs from the serving model at checkpoint")
+	}
+	// And it serves.
+	for day := 20; ; day++ {
+		qs := ps.Gen.Day(day)
+		if len(qs) == 0 {
+			continue
+		}
+		if _, err := dep2.Optimize(qs[0]); err != nil {
+			t.Fatalf("restored deployment cannot serve: %v", err)
+		}
+		break
+	}
+	if n := dep2.Telemetry().Counter("durable.restores").Value(); n != 1 {
+		t.Fatalf("durable.restores = %d", n)
+	}
+}
+
+// TestRestoreMidProbationRollsBack is the restart-safety contract: a restart
+// between a promotion and its indictment must not launder the probation away
+// — the restored deployment still rolls back to the pre-promote model when
+// the sentinel trips.
+func TestRestoreMidProbationRollsBack(t *testing.T) {
+	ps, dep, dir, opts := durableHarness(t, 31, quickLifecycleConfig())
+	serveUntilPromoted(t, ps, dep)
+
+	dep2, err := ps.RestoreDeployment(dir, 6, 2, opts...)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	lc := dep2.Lifecycle()
+	if !lc.InProbation() {
+		t.Fatal("not in probation after restore")
+	}
+	promoted := dep2.Predictor()
+	for day := 16; day < 28; day++ {
+		for _, q := range ps.Gen.Day(day) {
+			c, err := dep2.Optimize(q)
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			dep2.ExecuteChoice(c)
+		}
+		if dep2.Telemetry().Counter("lifecycle.rollback").Value() > 0 {
+			break
+		}
+	}
+	if n := dep2.Telemetry().Counter("lifecycle.rollback").Value(); n == 0 {
+		t.Fatal("no rollback after mid-probation restore")
+	}
+	if v := lc.Version(); v != 1 {
+		t.Fatalf("rollback restored version %d, want 1", v)
+	}
+	if dep2.Predictor() == promoted {
+		t.Fatal("rollback did not swap the promoted model out")
+	}
+	// The rollback itself checkpointed: a second restart lands on version 1.
+	man := dep2.dur.store.Manifest()
+	if man.Version != 1 || man.Event != durable.EventRollback {
+		t.Fatalf("manifest after rollback: %+v", man)
+	}
+}
+
+// TestProbationClearDropsRollbackSnapshot drives a promotion through a quiet
+// probation (sentinel band widened after the promote) and verifies the
+// clearance checkpoint drops the predecessor snapshot from disk.
+func TestProbationClearDropsRollbackSnapshot(t *testing.T) {
+	lcfg := quickLifecycleConfig()
+	lcfg.Probation = 3
+	ps, dep, dir, _ := durableHarness(t, 31, lcfg)
+	serveUntilPromoted(t, ps, dep)
+	if !dep.Lifecycle().InProbation() {
+		t.Fatal("not in probation after promote")
+	}
+	// Run the probation clock down with quiet reaction points, draining any
+	// pending sentinel trip first so the clearance path (not rollback) runs.
+	for i := 0; i < lcfg.Probation+1 && dep.Lifecycle().InProbation(); i++ {
+		dep.lc.sentinel.Store(false)
+		dep.lc.mu.Lock()
+		dep.lc.reactLocked(false)
+		dep.lc.mu.Unlock()
+	}
+	if dep.Lifecycle().InProbation() {
+		t.Fatal("probation never cleared")
+	}
+	man := dep.dur.store.Manifest()
+	if man.Event != durable.EventProbationClear || man.PrevSnapshot != "" {
+		t.Fatalf("manifest after clearance: %+v", man)
+	}
+	// The predecessor snapshot is gone from models/.
+	ents, err := os.ReadDir(filepath.Join(dir, "models"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("models dir after clearance: %v", names)
+	}
+}
+
+func TestRestoreReplaysJournalIntoDetector(t *testing.T) {
+	// Park the sentinel AND keep drift unreachable: no checkpoint events, so
+	// the journal accumulates across the whole serve stream.
+	lcfg := quickLifecycleConfig()
+	sim := NewSimulation(33, DefaultSimulationConfig())
+	cfg := DefaultProjectConfig("jr")
+	cfg.Archetype.NumTables = 10
+	cfg.Workload.NumTemplates = 6
+	cfg.Workload.QueriesPerDayMean = 6
+	ps := sim.AddProject(cfg)
+	ps.RunDays(0, 8)
+	dir := t.TempDir()
+	dcfg := DefaultDeployConfig()
+	dcfg.TrainDays = 6
+	dcfg.TestDays = 2
+	dcfg.Predictor.Epochs = 2
+	dcfg.DomainPlans = 8
+	opts := []DeployOption{WithLifecycle(lcfg), WithDurableStore(dir)}
+	dep, err := ps.Deploy(dcfg, opts...)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	served := 0
+	for _, q := range ps.Gen.Day(8) {
+		c, err := dep.Optimize(q)
+		if err != nil {
+			t.Fatalf("optimize: %v", err)
+		}
+		dep.ExecuteChoice(c)
+		served++
+	}
+	appended := dep.Telemetry().Counter("durable.journal.appends").Value()
+	if appended != int64(served) {
+		t.Fatalf("journal appends = %d, served %d", appended, served)
+	}
+
+	dep2, err := ps.RestoreDeployment(dir, 6, 2, opts...)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	replayed := dep2.Telemetry().Counter("durable.journal.replayed").Value()
+	if replayed != int64(served) {
+		t.Fatalf("journal replayed = %d, want %d", replayed, served)
+	}
+}
+
+func TestRestoreWithoutCheckpointFails(t *testing.T) {
+	sim := NewSimulation(31, DefaultSimulationConfig())
+	ps := sim.AddProject(DefaultProjectConfig("none"))
+	if _, err := ps.RestoreDeployment(t.TempDir(), 6, 2); err == nil {
+		t.Fatal("restore from an empty dir must fail")
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshot(t *testing.T) {
+	ps, dep, dir, opts := durableHarness(t, 31, quickLifecycleConfig())
+	man := dep.dur.store.Manifest()
+	path := filepath.Join(dir, "models", man.Snapshot)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.RestoreDeployment(dir, 6, 2, opts...); !errors.Is(err, durable.ErrCorruptStore) {
+		t.Fatalf("want ErrCorruptStore, got %v", err)
+	}
+}
+
+func TestFleetGrantsSurviveRestart(t *testing.T) {
+	sim := fleetSim(t)
+	dir := t.TempDir()
+	fcfg := DefaultFleetConfig()
+	fcfg.CacheBudget = 120
+	fcfg.InitialGrant = 40
+
+	deploy := func(name string) *Deployment {
+		dep, err := sim.Project(name).Deploy(fleetDeployConfig())
+		if err != nil {
+			t.Fatalf("deploy %s: %v", name, err)
+		}
+		return dep
+	}
+	f := sim.NewFleet(fcfg)
+	if err := f.EnableDurableGrants(dir, nil); err != nil {
+		t.Fatalf("enable grants: %v", err)
+	}
+	for _, name := range []string{"fa", "fb"} {
+		if err := f.Register(name, deploy(name)); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	// Skew traffic so Rebalance produces unequal grants.
+	ctx := context.Background()
+	for i, q := range sim.Project("fa").Gen.Day(5) {
+		if _, err := f.Route(ctx, "fa", q); err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		if i >= 7 {
+			break
+		}
+	}
+	for _, q := range sim.Project("fb").Gen.Day(5) {
+		if _, err := f.Route(ctx, "fb", q); err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		break
+	}
+	f.Rebalance()
+	want := map[string]int{}
+	for _, name := range f.Tenants() {
+		st, _ := f.Stats(name)
+		want[name] = st.Grant
+	}
+	if want["fa"] == want["fb"] {
+		t.Fatalf("traffic skew produced equal grants: %v", want)
+	}
+
+	// "Restart" the fleet: fresh registry, re-register, restore.
+	f2 := sim.NewFleet(fcfg)
+	if err := f2.EnableDurableGrants(dir, nil); err != nil {
+		t.Fatalf("re-enable grants: %v", err)
+	}
+	for _, name := range []string{"fa", "fb"} {
+		if err := f2.Register(name, deploy(name)); err != nil {
+			t.Fatalf("re-register %s: %v", name, err)
+		}
+	}
+	restored, err := f2.RestoreGrants()
+	if err != nil || !restored {
+		t.Fatalf("restore grants: restored=%v err=%v", restored, err)
+	}
+	for name, grant := range want {
+		st, ok := f2.Stats(name)
+		if !ok || st.Grant != grant {
+			t.Fatalf("%s grant = %d, want %d", name, st.Grant, grant)
+		}
+	}
+	b := f2.Budget()
+	if b.Granted > b.Budget || b.Entries > b.Granted {
+		t.Fatalf("budget invariant broken after restore: %+v", b)
+	}
+
+	// A third process with no saved table reports no restore.
+	f3 := sim.NewFleet(fcfg)
+	if err := f3.EnableDurableGrants(t.TempDir(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := f3.RestoreGrants(); restored || err != nil {
+		t.Fatalf("fresh dir: restored=%v err=%v", restored, err)
+	}
+}

@@ -3,7 +3,9 @@ package loam
 import (
 	"context"
 	"fmt"
+	"sync"
 
+	"loam/internal/durable"
 	"loam/internal/fleet"
 	"loam/internal/guard"
 	"loam/internal/query"
@@ -64,6 +66,14 @@ var (
 // over-budget tenant. See DESIGN.md "Fleet serving contract".
 type FleetRegistry struct {
 	reg *fleet.Registry
+	// store persists the grant table when EnableDurableGrants armed it; nil
+	// keeps budget state in memory only. saved holds the table a previous
+	// process left behind, read at enable time, until RestoreGrants applies
+	// it. persistMu serializes saves: control-plane calls serialize inside
+	// fleet.Registry, but the post-call save runs outside that lock.
+	persistMu sync.Mutex
+	store     *durable.FleetStore
+	saved     *durable.GrantTable
 }
 
 // NewFleetRegistry builds a standalone fleet registry. Wire cfg.Metrics to
@@ -91,19 +101,33 @@ func (f *FleetRegistry) Register(project string, d *Deployment) error {
 	if d == nil {
 		return fmt.Errorf("register %q: %w", project, fleet.ErrNilBackend)
 	}
-	return f.reg.Register(project, &fleetBackend{d: d})
+	if err := f.reg.Register(project, &fleetBackend{d: d}); err != nil {
+		return err
+	}
+	f.saveGrants()
+	return nil
 }
 
 // RegisterBackend adds a custom FleetBackend (e.g. a fleet.SyntheticTenant)
 // as project's serving engine. Route on such a tenant returns a nil *Choice —
 // read its native value via Registry().Route instead.
 func (f *FleetRegistry) RegisterBackend(project string, b FleetBackend) error {
-	return f.reg.Register(project, b)
+	if err := f.reg.Register(project, b); err != nil {
+		return err
+	}
+	f.saveGrants()
+	return nil
 }
 
 // Deregister removes project's backend, returning its cache grant to the
 // pool. Reports whether the project was registered.
-func (f *FleetRegistry) Deregister(project string) bool { return f.reg.Deregister(project) }
+func (f *FleetRegistry) Deregister(project string) bool {
+	ok := f.reg.Deregister(project)
+	if ok {
+		f.saveGrants()
+	}
+	return ok
+}
 
 // Route serves one query for project through the admission gate: an admitted
 // query runs the deployment's full guarded ladder (learned path first), an
@@ -124,7 +148,10 @@ func (f *FleetRegistry) Tick() { f.reg.Tick() }
 // Rebalance re-divides the global plan-cache budget across tenants in
 // proportion to traffic since the last call — hot projects earn cache, cold
 // ones shrink (deterministically; see internal/fleet).
-func (f *FleetRegistry) Rebalance() { f.reg.Rebalance() }
+func (f *FleetRegistry) Rebalance() {
+	f.reg.Rebalance()
+	f.saveGrants()
+}
 
 // Budget reports the current global cache budget status.
 func (f *FleetRegistry) Budget() FleetBudgetStatus { return f.reg.Budget() }
