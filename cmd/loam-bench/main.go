@@ -45,6 +45,7 @@ func run(args []string, out, errw io.Writer) error {
 		quiet   = fs.Bool("quiet", false, "suppress progress logging")
 		metrics = fs.Bool("metrics", false, "dump the combined telemetry snapshot after the experiments")
 		benchout = fs.String("benchout", "", "write the perf experiment's machine-readable results to this JSON file (requires -run perf)")
+		baseline = fs.String("baseline", "", "compare the perf experiment against this committed baseline JSON (requires -run perf); exits non-zero on a >10% machine-scaled regression")
 		fleetout = fs.String("fleetout", "", "write the fleet experiment's machine-readable results to this JSON file (requires -run fleet)")
 	)
 	fs.SetOutput(errw)
@@ -232,6 +233,11 @@ func run(args []string, out, errw io.Writer) error {
 			}
 			fmt.Fprintf(out, "wrote %s\n", *benchout)
 		}
+		if *baseline != "" {
+			if err := gateBaseline(out, r, *baseline); err != nil {
+				return err
+			}
+		}
 	}
 
 	if has("fleet") {
@@ -263,5 +269,29 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "\ntotal: %.1fs\n", sw.Seconds())
+	return nil
+}
+
+// gateBaseline is the perf trend gate: it loads the committed baseline,
+// scales its thresholds by the two machines' calibration ratio, and fails
+// the run on any >10% regression (or a broken identical-choices bit).
+func gateBaseline(out io.Writer, r *experiments.PerfResult, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var b experiments.PerfBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	fmt.Fprintf(out, "baseline %s: warm cache %.2fx the committed f64 baseline (machine-scaled)\n",
+		path, r.BaselineSpeedup(&b))
+	if bad := r.CompareBaseline(&b); len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintf(out, "baseline regression: %s\n", msg)
+		}
+		return fmt.Errorf("perf regressed against %s (%d violations)", path, len(bad))
+	}
+	fmt.Fprintf(out, "baseline gate: pass\n")
 	return nil
 }

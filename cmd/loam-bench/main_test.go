@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -160,6 +162,46 @@ func TestRunGuardMetricsDeterministic(t *testing.T) {
 	}
 	if again := metricsSection(t, second); again != sec {
 		t.Fatalf("same-seed metrics sections differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sec, again)
+	}
+}
+
+// TestRunPerfBaselineGate drives the perf trend gate end to end: a generous
+// committed baseline passes (and prints the machine-scaled speedup), an
+// absurdly demanding one fails the run with the regressions spelled out.
+func TestRunPerfBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	generous := write("generous.json",
+		`{"calib_ns": 0, "predict_ns_per_op": 1e12, "warm_qps": 1e-3}`)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-tiny", "-quiet", "-run", "perf", "-baseline", generous}, &out, &errw); err != nil {
+		t.Fatalf("generous baseline failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "baseline gate: pass") {
+		t.Fatalf("no gate verdict in output:\n%s", out.String())
+	}
+
+	impossible := write("impossible.json",
+		`{"calib_ns": 0, "predict_ns_per_op": 1e-3, "warm_qps": 1e12}`)
+	out.Reset()
+	err := run([]string{"-tiny", "-quiet", "-run", "perf", "-baseline", impossible}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("impossible baseline passed the gate (err=%v)", err)
+	}
+	for _, want := range []string{"baseline regression", "PredictCost", "warm select"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("gate output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	if err := run([]string{"-tiny", "-quiet", "-run", "perf", "-baseline", filepath.Join(dir, "absent.json")}, &out, &errw); err == nil {
+		t.Fatal("missing baseline file accepted")
 	}
 }
 

@@ -83,6 +83,62 @@ func unreachable() []float64 { return make([]float64, 8) }
 	}
 }
 
+// TestAllocDisciplineQuantRoots: the quantized-inference and micro-batching
+// entry points added with ROADMAP item 3 — the quantized cost-head kernel,
+// the fused group scorer, and the guard's coalesced flush — are serving
+// fast-path roots of their own: an allocation reachable from any of them
+// fires even when the classic per-query roots never reach it.
+func TestAllocDisciplineQuantRoots(t *testing.T) {
+	prog := fixture(t, map[string]string{
+		"internal/nn/quant.go": `package nn
+
+func ForwardInferQuant(x []float32) []float64 { return qscratch(len(x)) }
+
+func qscratch(n int) []float64 { return make([]float64, n) }
+`,
+		"internal/predictor/group.go": `package predictor
+
+type Group struct{ Costs []float64 }
+
+func SelectPlanGroups(groups []Group) { stage(groups) }
+
+func stage(groups []Group) {
+	for i := range groups {
+		groups[i].Costs = append(groups[i].Costs, 0)
+		_ = new(float64)
+	}
+}
+`,
+		"internal/guard/coalesce.go": `package guard
+
+type batch struct{ costs []float64 }
+
+func flushCoalesced(b *batch, n int) {
+	b.costs = make([]float64, n)
+}
+`,
+	})
+	got := runOne(prog, AllocDiscipline())
+	if len(got) != 3 {
+		t.Fatalf("want 3 findings (one per new root), got %d:\n%s", len(got), renderFindings(got))
+	}
+	for _, want := range []string{
+		"make allocates in qscratch (serving fast path via fixture/internal/nn.ForwardInferQuant)",
+		"new allocates in stage (serving fast path via fixture/internal/predictor.SelectPlanGroups)",
+		"make allocates in flushCoalesced (serving fast path via fixture/internal/guard.flushCoalesced)",
+	} {
+		found := false
+		for _, f := range got {
+			if strings.Contains(f.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding matches %q:\n%s", want, renderFindings(got))
+		}
+	}
+}
+
 // TestAllocDisciplineCustomRoots: -roots replaces the serving-root set, so a
 // fixture entry point outside the default list can opt in.
 func TestAllocDisciplineCustomRoots(t *testing.T) {

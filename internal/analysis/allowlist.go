@@ -134,10 +134,11 @@ func DefaultAllowlist() []AllowEntry {
 			Rule:       "allocdiscipline",
 			PathPrefix: "internal/predictor/infer.go",
 			Contains:   "in scoreBatched",
-			Reason: "parallel fan-out staging (batch slices, result channel, worker " +
-				"closures) used only above parallelCandidateThreshold, where the win " +
-				"from parallel scoring dwarfs the staging cost; the sequential path " +
-				"below the threshold is allocation-free",
+			Reason: "parallel fan-out staging (result channel, worker closures) used " +
+				"only above the configured parallel-embedding threshold " +
+				"(ScoringConfig.ParallelThreshold), where the win from parallel " +
+				"scoring dwarfs the staging cost; the sequential path below the " +
+				"threshold is allocation-free",
 		},
 		{
 			Rule:       "allocdiscipline",

@@ -456,6 +456,29 @@ func Serve(p *predictor.Predictor) { p.SelectPlanKeyed(nil, 0, 0) }
 	})
 }
 
+func TestGuardDisciplineGroups(t *testing.T) {
+	// SelectPlanGroups is the fused micro-batch scoring entry point; like the
+	// per-query entry points, only the guard may call it — a direct caller
+	// would skip the breaker, deadline and quarantine for a whole batch at
+	// once. Method values smuggle it the same way.
+	prog := fixture(t, map[string]string{
+		"internal/predictor/predictor.go": `package predictor
+type Group struct{}
+type Predictor struct{}
+func (p *Predictor) SelectPlanGroups(groups []Group) {}
+`,
+		"serve.go": `package root
+import "fixture/internal/predictor"
+func Serve(p *predictor.Predictor) { p.SelectPlanGroups(nil) }
+func Smuggle(p *predictor.Predictor) func([]predictor.Group) { return p.SelectPlanGroups }
+`,
+	})
+	wantFindings(t, runOne(prog, GuardDiscipline()), [][2]string{
+		{"guarddiscipline", "p.SelectPlanGroups bypasses the serving guard"},
+		{"guarddiscipline", "method value p.SelectPlanGroups smuggles the raw scoring entry point"},
+	})
+}
+
 func TestGuardDisciplineFleetAdmission(t *testing.T) {
 	// Inside internal/fleet, a backend's serving ladder (OptimizeCtx) is
 	// reachable only from serveAdmitted — anything else bypasses the
@@ -568,6 +591,20 @@ func (p *Predictor) batched() {
 		wantFindings(t, runOne(prog, InferencePurity()), [][2]string{
 			{"inferencepurity", "nn.Param constructs a gradient-tracked tensor on the serving path (in batched)"},
 			{"inferencepurity", "t.Backward runs backpropagation on the serving path (in batched)"},
+		})
+	})
+	t.Run("SelectPlanGroups is a serving root", func(t *testing.T) {
+		prog := fixture(t, map[string]string{
+			"internal/predictor/group.go": `package predictor
+import "fixture/internal/nn"
+type Group struct{}
+type Predictor struct{}
+func (p *Predictor) SelectPlanGroups(groups []Group) { p.fused() }
+func (p *Predictor) fused() { _ = nn.Param(1, 1) }
+`,
+		})
+		wantFindings(t, runOne(prog, InferencePurity()), [][2]string{
+			{"inferencepurity", "nn.Param constructs a gradient-tracked tensor on the serving path (in fused)"},
 		})
 	})
 	t.Run("test files and unrelated packages are exempt", func(t *testing.T) {

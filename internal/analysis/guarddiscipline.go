@@ -10,7 +10,8 @@ import (
 
 // GuardDiscipline enforces the guarded-serving contract: outside
 // internal/guard and internal/predictor themselves, nothing calls the
-// predictor's SelectPlan / SelectPlanParallel / SelectPlanKeyed directly.
+// predictor's SelectPlan / SelectPlanParallel / SelectPlanKeyed /
+// SelectPlanGroups directly.
 // Every serving-path
 // score must flow through guard.Guard — Serve for guarded serving, or
 // ScoreLearned where raw model failures must surface (validation) — so the
@@ -74,7 +75,7 @@ func runGuardDiscipline(prog *Program) []Finding {
 			}
 			name := sel.Sel.Name
 			switch name {
-			case "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed":
+			case "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed", "SelectPlanGroups":
 				out = append(out, Finding{
 					Pos:  prog.Fset.Position(call.Pos()),
 					Rule: "guarddiscipline",
@@ -175,7 +176,7 @@ func guardMethodValues(prog *Program, pkg *Package, f *File, callFuns map[*ast.S
 			return true
 		}
 		switch fn.Name() {
-		case "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed":
+		case "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed", "SelectPlanGroups":
 			out = append(out, Finding{
 				Pos:  prog.Fset.Position(sel.Pos()),
 				Rule: "guarddiscipline",

@@ -20,8 +20,8 @@ import (
 //   - internal/guard: the whole package. The guard wraps a trained model and
 //     has no business touching autograd anywhere.
 //   - internal/predictor: every function reachable from the serving roots
-//     PredictCost, SelectPlan, SelectPlanParallel and SelectPlanKeyed
-//     through the typed call graph (callgraph.go) — static calls, interface
+//     PredictCost, SelectPlan, SelectPlanParallel, SelectPlanKeyed and
+//     SelectPlanGroups through the typed call graph (callgraph.go) — static calls, interface
 //     dispatch resolved via types.Implements, method/function values, and a
 //     name fallback where the checker has no answer. Before the typed
 //     engine, reachability was per-package callee-name matching, which
@@ -41,7 +41,7 @@ func InferencePurity() *Analyzer {
 
 // inferenceRoots are the predictor's serving entry points; everything they
 // reach is serving-path code.
-var inferenceRoots = []string{"PredictCost", "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed"}
+var inferenceRoots = []string{"PredictCost", "SelectPlan", "SelectPlanParallel", "SelectPlanKeyed", "SelectPlanGroups"}
 
 func runInferencePurity(prog *Program) []Finding {
 	cg := prog.BuildCallGraph()

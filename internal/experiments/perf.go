@@ -6,9 +6,12 @@ import (
 	"io"
 	"runtime"
 
+	"loam/internal/guard"
+	"loam/internal/nn"
 	"loam/internal/plan"
 	"loam/internal/predictor"
 	"loam/internal/query"
+	"loam/internal/simrand"
 	"loam/internal/walltime"
 )
 
@@ -24,8 +27,17 @@ type PerfResult struct {
 	Project string `json:"project"`
 	Queries int    `json:"queries"`
 
+	// CalibNs is the machine-speed calibration (CalibrateMachine): ns per
+	// canonical blocked matmul on this machine, measured in the same process
+	// as the numbers below. The -baseline trend gate divides it by the
+	// committed baseline's calib_ns to scale thresholds to the measuring
+	// machine instead of comparing raw wall times across hardware.
+	CalibNs float64 `json:"calib_ns"`
+
 	PredictCost PerfForward    `json:"predict_cost"`
 	Select      PerfSelect     `json:"select"`
+	Quant       PerfQuant      `json:"quant"`
+	Coalesced   PerfCoalesced  `json:"coalesced"`
 	Batch       []PerfBatchRow `json:"optimize_batch"`
 }
 
@@ -49,11 +61,123 @@ type PerfSelect struct {
 	Identical bool `json:"identical"`
 }
 
+// PerfQuant measures warm recurring-query throughput with the quantized
+// int8/f32 cost head enabled. Identical is the end-to-end half of the
+// argmin-preservation contract: quantized warm scoring must choose exactly
+// the plans the uncached f64 path chose.
+type PerfQuant struct {
+	WarmQPS float64 `json:"warm_qps"`
+	// SpeedupVsF64 is WarmQPS over the f64 warm-cache WarmQPS measured in the
+	// same run.
+	SpeedupVsF64 float64 `json:"speedup_vs_f64"`
+	Identical    bool    `json:"identical"`
+}
+
+// PerfCoalesced measures the fused ServeBatch pass: the whole recurring
+// workload scored as one micro-batched cost-head group per round, warm cache,
+// f64 scoring.
+type PerfCoalesced struct {
+	QPS       float64 `json:"qps"`
+	Identical bool    `json:"identical"`
+}
+
 // PerfBatchRow is one OptimizeBatch throughput measurement.
 type PerfBatchRow struct {
 	Parallelism int     `json:"parallelism"`
 	Seconds     float64 `json:"seconds"`
 	QPS         float64 `json:"qps"`
+}
+
+// PerfBaseline is the committed perf floor (BENCH_baseline.json): the f64
+// serving numbers recorded before the quantized/micro-batched fast path
+// landed, plus the calib_ns of the machine that recorded them. The trend gate
+// (loam-bench -run perf -baseline) scales its thresholds by the calib ratio
+// of the two machines, clamped to [0.25, 4] so a pathological calibration
+// can neither mask a real regression nor manufacture one.
+type PerfBaseline struct {
+	CalibNs        float64 `json:"calib_ns"`
+	PredictNsPerOp float64 `json:"predict_ns_per_op"`
+	WarmQPS        float64 `json:"warm_qps"`
+}
+
+// CalibrateMachine times the canonical calibration workload — a fixed-shape
+// blocked f64 matmul on deterministic inputs — and returns ns per matmul
+// (best of several reps, so a background-noise spike cannot inflate it).
+func CalibrateMachine() float64 {
+	const n, iters, reps = 96, 8, 5
+	rng := simrand.New(7)
+	a := make([]float64, n*n)
+	bt := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Uniform(-1, 1)
+		bt[i] = rng.Uniform(-1, 1)
+	}
+	dst := make([]float64, n*n)
+	best := 0.0
+	for rep := 0; rep < reps; rep++ {
+		sw := walltime.Start()
+		for it := 0; it < iters; it++ {
+			nn.MatMulNTBlockedInto(dst, a, bt, n, n, n)
+		}
+		if ns := sw.Seconds() * 1e9 / iters; rep == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// CompareBaseline checks r against the committed baseline and returns the
+// list of regressions (empty = gate passes). Thresholds are scaled by the
+// calib ratio (this machine over the baseline machine, clamped): throughput
+// must stay above 90% of the scaled baseline, PredictCost latency below 110%,
+// and every identical-choices bit must hold.
+func (r *PerfResult) CompareBaseline(b *PerfBaseline) []string {
+	scale := 1.0
+	if b.CalibNs > 0 && r.CalibNs > 0 {
+		scale = r.CalibNs / b.CalibNs
+		if scale < 0.25 {
+			scale = 0.25
+		} else if scale > 4 {
+			scale = 4
+		}
+	}
+	var bad []string
+	if lim := 1.1 * b.PredictNsPerOp * scale; r.PredictCost.NsPerOp > lim {
+		bad = append(bad, fmt.Sprintf("PredictCost %.0f ns/op exceeds scaled baseline limit %.0f ns/op",
+			r.PredictCost.NsPerOp, lim))
+	}
+	if lim := 0.9 * b.WarmQPS / scale; r.Select.WarmQPS < lim {
+		bad = append(bad, fmt.Sprintf("warm select %.0f q/s below scaled baseline floor %.0f q/s",
+			r.Select.WarmQPS, lim))
+	}
+	if !r.Select.Identical {
+		bad = append(bad, "warm cached scoring chose different plans than uncached scoring")
+	}
+	if !r.Quant.Identical {
+		bad = append(bad, "quantized scoring chose different plans than f64 scoring")
+	}
+	if !r.Coalesced.Identical {
+		bad = append(bad, "coalesced scoring chose different plans than per-query scoring")
+	}
+	return bad
+}
+
+// BaselineSpeedup reports this run's warm-cache throughput relative to the
+// committed baseline, in baseline-machine units (scaled by the calib ratio).
+func (r *PerfResult) BaselineSpeedup(b *PerfBaseline) float64 {
+	if b.WarmQPS <= 0 {
+		return 0
+	}
+	scale := 1.0
+	if b.CalibNs > 0 && r.CalibNs > 0 {
+		scale = r.CalibNs / b.CalibNs
+		if scale < 0.25 {
+			scale = 0.25
+		} else if scale > 4 {
+			scale = 4
+		}
+	}
+	return r.Select.WarmQPS * scale / b.WarmQPS
 }
 
 // perfMeasure times n runs of f and reports ns/op plus heap allocations/op
@@ -100,7 +224,8 @@ func (e *Env) Perf(ctx context.Context) (*PerfResult, error) {
 	envs := dep.Predictor().EnvSourceFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
 	key := dep.Predictor().EnvKeyFor(predictor.StrategyMeanEnv, [4]float64{}, [4]float64{})
 
-	res := &PerfResult{Project: project, Queries: len(qs)}
+	res := &PerfResult{Project: project, Queries: len(qs), CalibNs: CalibrateMachine()}
+	e.Cfg.logf("perf %s: machine calibration %.0f ns/matmul", project, res.CalibNs)
 
 	// 1. PredictCost microbenchmark on one recurring plan.
 	const fwdIters = 1000
@@ -161,7 +286,87 @@ func (e *Env) Perf(ctx context.Context) (*PerfResult, error) {
 		project, res.Select.UncachedQPS, res.Select.WarmQPS, res.Select.RecurringSpeedup,
 		res.Select.Identical)
 
-	// 3. End-to-end OptimizeBatch throughput (explorer + guard + scoring)
+	// 3. Quantized warm throughput: flip the cost head to the calibrated
+	// int8/f32 tiers and re-run the warm keyed rounds. Choices must match the
+	// uncached f64 choices exactly — the argmin-preservation contract, end to
+	// end — and the original scoring configuration is restored afterwards so
+	// the remaining phases measure the deployment as configured.
+	baseScoring := dep.Predictor().ScoringConfig()
+	quantScoring := baseScoring
+	quantScoring.Quantized = true
+	dep.Predictor().SetScoringConfig(quantScoring)
+	res.Quant.Identical = true
+	checkQuant := func() error {
+		for i := range qs {
+			chosen, _, err := dep.Guard().ScoreLearnedKeyed(cands[i], envs, key)
+			if err != nil {
+				return fmt.Errorf("perf %s (quant): %w", project, err)
+			}
+			if chosen != uncachedChoice[i] {
+				res.Quant.Identical = false
+			}
+		}
+		return nil
+	}
+	if err := checkQuant(); err != nil { // warm the quant scratch tiers
+		return nil, err
+	}
+	sw = walltime.Start()
+	for r := 0; r < rounds; r++ {
+		if err := checkQuant(); err != nil {
+			return nil, err
+		}
+	}
+	quantSecs := sw.Seconds()
+	res.Quant.WarmQPS = float64(rounds*len(qs)) / quantSecs
+	if res.Select.WarmQPS > 0 {
+		res.Quant.SpeedupVsF64 = res.Quant.WarmQPS / res.Select.WarmQPS
+	}
+	dep.Predictor().SetScoringConfig(baseScoring)
+	e.Cfg.logf("perf %s: quant warm %.0f q/s (%.2fx f64 warm), identical=%v",
+		project, res.Quant.WarmQPS, res.Quant.SpeedupVsF64, res.Quant.Identical)
+
+	// 4. Coalesced fused scoring: the whole recurring workload runs as one
+	// micro-batched ServeBatch pass per round — one fused cost-head group
+	// instead of one select per query — with per-query choices still matching
+	// the uncached path.
+	reqs := make([]guard.Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = guard.Request{
+			ID: q.ID, Day: q.Day, Query: q,
+			Cands: cands[i], Envs: envs, EnvKey: key,
+		}
+	}
+	batchRes := make([]guard.Result, len(qs))
+	batchErrs := make([]error, len(qs))
+	res.Coalesced.Identical = true
+	checkCoalesced := func() error {
+		dep.Guard().ServeBatch(ctx, reqs, batchRes, batchErrs)
+		for i := range qs {
+			if batchErrs[i] != nil {
+				return fmt.Errorf("perf %s (coalesced): %w", project, batchErrs[i])
+			}
+			if batchRes[i].Chosen != uncachedChoice[i] {
+				res.Coalesced.Identical = false
+			}
+		}
+		return nil
+	}
+	if err := checkCoalesced(); err != nil { // warm the flush scratch
+		return nil, err
+	}
+	sw = walltime.Start()
+	for r := 0; r < rounds; r++ {
+		if err := checkCoalesced(); err != nil {
+			return nil, err
+		}
+	}
+	coalSecs := sw.Seconds()
+	res.Coalesced.QPS = float64(rounds*len(qs)) / coalSecs
+	e.Cfg.logf("perf %s: coalesced %.0f q/s, identical=%v",
+		project, res.Coalesced.QPS, res.Coalesced.Identical)
+
+	// 5. End-to-end OptimizeBatch throughput (explorer + guard + scoring)
 	// at fixed parallelism levels, cache warm.
 	for _, par := range []int{1, 2, 4} {
 		sw := walltime.Start()
@@ -178,11 +383,16 @@ func (e *Env) Perf(ctx context.Context) (*PerfResult, error) {
 
 // Render prints the fast-path benchmark tables.
 func (r *PerfResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "Serving fast path — %d recurring queries on %q\n", r.Queries, r.Project)
+	fmt.Fprintf(w, "Serving fast path — %d recurring queries on %q (calib %.0f ns)\n",
+		r.Queries, r.Project, r.CalibNs)
 	fmt.Fprintf(w, "PredictCost: %.0f ns/op, %.1f allocs/op (%d iters)\n",
 		r.PredictCost.NsPerOp, r.PredictCost.AllocsPerOp, r.PredictCost.Iters)
 	fmt.Fprintf(w, "SelectPlan:  uncached %.0f q/s, warm cache %.0f q/s, speedup %.2fx, identical choices: %v\n",
 		r.Select.UncachedQPS, r.Select.WarmQPS, r.Select.RecurringSpeedup, r.Select.Identical)
+	fmt.Fprintf(w, "Quantized:   warm cache %.0f q/s (%.2fx f64 warm), identical choices: %v\n",
+		r.Quant.WarmQPS, r.Quant.SpeedupVsF64, r.Quant.Identical)
+	fmt.Fprintf(w, "Coalesced:   fused batch %.0f q/s, identical choices: %v\n",
+		r.Coalesced.QPS, r.Coalesced.Identical)
 	fmt.Fprintf(w, "%-12s %10s %10s\n", "parallelism", "seconds", "queries/s")
 	for _, row := range r.Batch {
 		fmt.Fprintf(w, "%-12d %10.3f %10.0f\n", row.Parallelism, row.Seconds, row.QPS)

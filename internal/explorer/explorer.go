@@ -100,12 +100,17 @@ func (e *Explorer) Candidates(q *query.Query) []*plan.Plan {
 		p    *plan.Plan
 		cost float64
 	}
-	seen := map[uint64]bool{def.Root.Fingerprint(): true}
+	// Candidates are sealed with the fingerprint the dedup pass computes
+	// anyway: the predictor's plan-embedding cache keys on it every time a
+	// candidate is scored, and re-walking the tree per lookup dominated the
+	// warm serving path before the seal (see plan.Seal).
+	def.Seal()
+	seen := map[uint64]bool{def.CacheFingerprint(): true}
 	defCost := base.RoughCost(def)
 	var alts []scored
 
 	add := func(p *plan.Plan) {
-		fp := p.Root.Fingerprint()
+		fp := p.Seal()
 		if seen[fp] {
 			return
 		}

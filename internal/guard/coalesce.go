@@ -1,0 +1,280 @@
+package guard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"loam/internal/faultinject"
+	"loam/internal/plan"
+	"loam/internal/predictor"
+)
+
+// This file is the guard's cross-query micro-batching layer: concurrent
+// OptimizeCtx calls that land on the learned path at the same time are
+// coalesced into one fused cost-head pass (predictor.SelectPlanGroups)
+// instead of one pass per query. Two entry points share the same flush core:
+//
+//   - ServeBatch: the deterministic path. A sequential driver (OptimizeBatch
+//     with parallelism ≤ 1) hands over a whole request slice; the batch
+//     composition — and therefore the serve.batch.coalesced histogram — is
+//     identical run to run.
+//   - the coalescer: the asynchronous path behind selectLearned. Requests
+//     arriving while a flush is in progress accumulate and are flushed
+//     together by the next leader (group commit): no timers, no wall-clock
+//     windows — the batch window is bounded in serve calls (Options.
+//     CoalesceWindow), and a lone request flushes immediately, so coalescing
+//     never adds latency. Batch composition depends on goroutine arrival
+//     order, so this path records only order-independent counters; per-query
+//     plans and estimates are unaffected (group scoring is row-independent
+//     and argmin certification is per group).
+//
+// Both paths preserve Serve's per-request semantics exactly: admission,
+// fault injection, breaker charges, sentinel samples and fallback rungs are
+// applied per request, and the scores are the ones selectPlan would have
+// produced for each request alone.
+
+// BatchScorer is a keyed scorer that can score many queries' candidate sets
+// in one fused pass. predictor.Predictor implements it; scorers that don't
+// are served per-request even when coalescing is enabled.
+type BatchScorer interface {
+	KeyedScorer
+	SelectPlanGroups(groups []predictor.Group)
+}
+
+// batchScratch holds the reusable staging state of one flush site. Buffers
+// grow with the self-append idiom and are retained across flushes, so a warm
+// flush allocates nothing.
+type batchScratch struct {
+	groups []predictor.Group
+	costs  []float64
+	join   []bool
+}
+
+// growCosts extends buf to at least n elements (self-append growth, exempt
+// from the allocation discipline as amortized warm-up).
+func growCosts(buf []float64, n int) []float64 {
+	for len(buf) < n {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// ServeBatch runs reqs through the guarded ladder with one fused scoring
+// pass, writing per-request outcomes into results and errs (both must have
+// len(reqs); per-request entries mirror what Serve would have returned).
+// When the live scorer is not a BatchScorer, or the batch is trivial, it
+// degrades to per-request Serve calls.
+//
+// Estimates in learned results alias guard-internal scratch and are valid
+// only until the next ServeBatch call on this guard: callers that retain
+// them must copy (the root OptimizeBatch driver does).
+//
+// Semantics relative to a sequential Serve loop: admission (one breaker tick
+// per request) and pre-scoring fault injection run request by request in
+// order, exactly as Serve would; the batch then scores as one fused pass, so
+// breaker charges for scoring failures (no candidates, no finite estimate)
+// land after every request's admission tick rather than interleaved. The
+// per-request outcomes are otherwise identical, and on healthy or
+// injection-driven runs (rates 0 or 1) the telemetry counts match the
+// sequential ladder exactly.
+//
+// ServeBatch is not safe for concurrent use with itself; it is the
+// sequential driver's entry point. Concurrent serving coalesces through
+// Serve and the asynchronous coalescer instead.
+func (g *Guard) ServeBatch(ctx context.Context, reqs []Request, results []Result, errs []error) {
+	scorer := g.currentScorer()
+	bs, ok := scorer.(BatchScorer)
+	if !ok || len(reqs) < 2 {
+		for i := range reqs {
+			results[i], errs[i] = g.Serve(ctx, reqs[i])
+		}
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return
+	}
+
+	// Pre-scoring ladder, request by request in order: totals, injected load
+	// spikes, admission, and the pre-scoring fault injections, each handled
+	// exactly as Serve handles them.
+	sb := &g.sb
+	sb.join = sb.join[:0]
+	for i := range reqs {
+		req := &reqs[i]
+		g.tel.serveTotal.Inc()
+		if g.inj.LoadSpike(req.ID) {
+			g.tel.injSpike.Inc()
+		}
+		admit, blocked := g.admit()
+		if !admit {
+			results[i], errs[i] = g.fallback(*req, blocked)
+			sb.join = append(sb.join, false)
+			continue
+		}
+		if g.inj.PredictorError(req.ID) {
+			g.tel.injPredictor.Inc()
+			f := classify(fmt.Errorf("%w: forced predictor error", faultinject.ErrInjected))
+			g.recordFailure(f)
+			results[i], errs[i] = g.fallback(*req, f)
+			sb.join = append(sb.join, false)
+			continue
+		}
+		if g.inj.Delay(req.ID) {
+			g.tel.injDelay.Inc()
+			f := classify(fmt.Errorf("%w: %w", faultinject.ErrInjected, ErrDeadline))
+			g.recordFailure(f)
+			results[i], errs[i] = g.fallback(*req, f)
+			sb.join = append(sb.join, false)
+			continue
+		}
+		sb.join = append(sb.join, true)
+	}
+
+	g.flushCoalesced(bs, reqs, sb)
+	g.tel.coalescedBatch.Observe(float64(len(sb.groups)))
+	g.tel.coalesceRequests.Add(int64(len(sb.groups)))
+	g.tel.coalesceFlushes.Inc()
+
+	// Post-scoring ladder per fused request: NaN corruption injection, then
+	// either the learned success bookkeeping or classification + fallback.
+	gi := 0
+	for i := range reqs {
+		if !sb.join[i] {
+			continue
+		}
+		req := &reqs[i]
+		grp := &sb.groups[gi]
+		gi++
+		best, costs, err := grp.Best, grp.Costs, grp.Err
+		if err == nil && g.inj.CorruptNaN(req.ID) {
+			g.tel.injNaN.Inc()
+			err = fmt.Errorf("%w: %w", faultinject.ErrInjected, predictor.ErrNoFiniteEstimate)
+		}
+		if err == nil {
+			g.observeLearned(*req, best)
+			g.tel.serveLearned.Inc()
+			results[i] = Result{Chosen: best, Estimates: costs, Origin: OriginLearned}
+			continue
+		}
+		f := classify(err)
+		g.recordFailure(f)
+		results[i], errs[i] = g.fallback(*req, f)
+	}
+}
+
+// flushCoalesced stages every joined request's candidate set into contiguous
+// group slices over the shared costs arena and scores them all with one
+// fused SelectPlanGroups pass. This is the coalescer's flush core and an
+// allocdiscipline root: a warm flush allocates nothing (buffers grow with
+// the self-append idiom, group Costs are arena re-slices).
+func (g *Guard) flushCoalesced(bs BatchScorer, reqs []Request, sb *batchScratch) {
+	total := 0
+	for i := range reqs {
+		if sb.join[i] {
+			total += len(reqs[i].Cands)
+		}
+	}
+	sb.costs = growCosts(sb.costs, total)
+	sb.groups = sb.groups[:0]
+	off := 0
+	for i := range reqs {
+		if !sb.join[i] {
+			continue
+		}
+		n := len(reqs[i].Cands)
+		sb.groups = append(sb.groups, predictor.Group{
+			Cands: reqs[i].Cands,
+			Envs:  reqs[i].Envs,
+			Key:   reqs[i].EnvKey,
+			Costs: sb.costs[off : off+n],
+		})
+		off += n
+	}
+	bs.SelectPlanGroups(sb.groups)
+}
+
+// coalPending is one in-flight request parked in the asynchronous coalescer.
+type coalPending struct {
+	req  Request
+	done chan struct{}
+
+	best  *plan.Plan
+	costs []float64
+	err   error
+}
+
+// coalescer implements group-commit micro-batching for concurrent Serve
+// calls: the first arrival becomes the leader and flushes immediately;
+// requests arriving while that flush runs accumulate and are flushed
+// together by the leader's next loop turn (or by the next leader). The
+// window caps how many requests one fused pass may carry.
+type coalescer struct {
+	window int
+
+	mu       sync.Mutex
+	queue    []*coalPending
+	flushing bool
+	sb       batchScratch
+}
+
+// selectCoalesced is the coalescing twin of selectLearned: it parks the
+// request on the queue and either drives the flush loop (leader) or waits
+// for a leader to score it. The whole batch scores under the leader's
+// scorer, preserving the swap invariant that one request never scores under
+// a mixture of models.
+func (c *coalescer) selectCoalesced(g *Guard, bs BatchScorer, req Request) (*plan.Plan, []float64, error) {
+	p := &coalPending{req: req, done: make(chan struct{})}
+	c.mu.Lock()
+	c.queue = append(c.queue, p)
+	if c.flushing {
+		c.mu.Unlock()
+		<-p.done
+		return p.best, p.costs, p.err
+	}
+	c.flushing = true
+	for len(c.queue) > 0 {
+		n := len(c.queue)
+		if n > c.window {
+			n = c.window
+		}
+		batch := c.queue[:n:n]
+		c.queue = c.queue[n:]
+		c.mu.Unlock()
+		c.flush(g, bs, batch)
+		c.mu.Lock()
+	}
+	c.flushing = false
+	// The queue slice has been re-sliced away from its backing array by the
+	// loop; start the next accumulation fresh so the array can be reclaimed.
+	c.queue = nil
+	c.mu.Unlock()
+	<-p.done
+	return p.best, p.costs, p.err
+}
+
+// flush stages one batch of pending requests through the fused pass and
+// hands each waiter its private outcome. Estimates are copied out of the
+// flush arena because Serve results escape to callers.
+func (c *coalescer) flush(g *Guard, bs BatchScorer, batch []*coalPending) {
+	c.sb.join = c.sb.join[:0]
+	reqs := make([]Request, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+		c.sb.join = append(c.sb.join, true)
+	}
+	g.flushCoalesced(bs, reqs, &c.sb)
+	g.tel.coalesceRequests.Add(int64(len(batch)))
+	g.tel.coalesceFlushes.Inc()
+	for i, p := range batch {
+		grp := &c.sb.groups[i]
+		p.best, p.err = grp.Best, grp.Err
+		if p.err == nil {
+			p.costs = append([]float64(nil), grp.Costs...)
+		}
+		close(p.done)
+	}
+}

@@ -1,0 +1,297 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"loam/internal/encoding"
+	"loam/internal/faultinject"
+	"loam/internal/plan"
+	"loam/internal/predictor"
+	"loam/internal/query"
+)
+
+// batchStub is a deterministic BatchScorer: candidate i of any request costs
+// float64(len(cands)-i), so the last candidate always wins, and the fused
+// group path reproduces the per-request path exactly. Call counters expose
+// which entry point served a request.
+type batchStub struct {
+	mu          sync.Mutex
+	singleCalls int
+	groupCalls  int
+}
+
+func (s *batchStub) score(cands []*plan.Plan, costs []float64) (*plan.Plan, error) {
+	if len(cands) == 0 {
+		return nil, predictor.ErrNoCandidates
+	}
+	for i := range cands {
+		costs[i] = float64(len(cands) - i)
+	}
+	return cands[len(cands)-1], nil
+}
+
+func (s *batchStub) SelectPlan(cands []*plan.Plan, envs encoding.EnvSource) (*plan.Plan, []float64, error) {
+	s.mu.Lock()
+	s.singleCalls++
+	s.mu.Unlock()
+	costs := make([]float64, len(cands))
+	best, err := s.score(cands, costs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return best, costs, nil
+}
+
+func (s *batchStub) SelectPlanKeyed(cands []*plan.Plan, envs encoding.EnvSource, key encoding.EnvKey) (*plan.Plan, []float64, error) {
+	return s.SelectPlan(cands, envs)
+}
+
+func (s *batchStub) SelectPlanGroups(groups []predictor.Group) {
+	s.mu.Lock()
+	s.groupCalls++
+	s.mu.Unlock()
+	for gi := range groups {
+		g := &groups[gi]
+		g.Best, g.Err = s.score(g.Cands, g.Costs)
+	}
+}
+
+// coalesceReqs builds n distinct two-candidate requests.
+func coalesceReqs(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		id := fmt.Sprintf("q%d", i)
+		reqs[i] = Request{
+			ID:    id,
+			Query: &query.Query{ID: id},
+			Cands: []*plan.Plan{{}, {}},
+			Envs:  encoding.NoEnv(),
+		}
+	}
+	return reqs
+}
+
+// TestServeBatchMatchesSequentialServe: for healthy serving and for
+// deterministic rate-1 injections, ServeBatch produces per-request outcomes
+// (plan, origin, estimates, error) identical to a sequential Serve loop over
+// the same requests on an identically configured guard, and the shared
+// ladder counters agree.
+func TestServeBatchMatchesSequentialServe(t *testing.T) {
+	// NaN corruption is a post-scoring failure: ServeBatch lands its breaker
+	// charges after every request's admission tick (the one documented
+	// divergence from a sequential loop), so at rate 1 a breaker small enough
+	// to trip mid-batch would open at different points on the two paths. The
+	// equivalence contract holds for breakers that don't trip inside one
+	// batch; that case pins it with a wide window.
+	wideCfg := smallCfg()
+	wideCfg.WindowSize = 100
+	wideCfg.TripThreshold = 99
+	cases := []struct {
+		name string
+		cfg  Config
+		inj  func(seed uint64) *faultinject.Injector
+	}{
+		{"healthy", smallCfg(), func(uint64) *faultinject.Injector { return nil }},
+		{"predictor-error", smallCfg(), func(seed uint64) *faultinject.Injector {
+			return faultinject.New(seed, faultinject.Config{PredictorErrorRate: 1})
+		}},
+		{"nan-corruption", wideCfg, func(seed uint64) *faultinject.Injector {
+			return faultinject.New(seed, faultinject.Config{NaNRate: 1})
+		}},
+		{"delay", smallCfg(), func(seed uint64) *faultinject.Injector {
+			return faultinject.New(seed, faultinject.Config{DelayRate: 1})
+		}},
+	}
+	ladderCounters := []string{
+		"guard.serve.total", "guard.serve.learned", "guard.serve.shed",
+		"guard.fallback.native", "guard.fallback.default",
+		"guard.fallback.reason.predictor_error", "guard.fallback.reason.deadline",
+		"guard.fallback.reason.no_finite_estimate", "guard.fallback.reason.breaker_open",
+		"guard.inject.predictor_errors", "guard.inject.nan_estimates", "guard.inject.delays",
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mkHarness := func() *testHarness {
+				return newHarness(tc.cfg, &batchStub{}, func(o *Options) {
+					o.Injector = tc.inj(7)
+				})
+			}
+			seq, bat := mkHarness(), mkHarness()
+			reqs := coalesceReqs(9)
+			// One empty-candidate request exercises the scoring-failure leg.
+			reqs[4].Cands = nil
+
+			wantRes := make([]Result, len(reqs))
+			wantErr := make([]error, len(reqs))
+			for i := range reqs {
+				wantRes[i], wantErr[i] = seq.g.Serve(context.Background(), reqs[i])
+			}
+
+			gotRes := make([]Result, len(reqs))
+			gotErr := make([]error, len(reqs))
+			bat.g.ServeBatch(context.Background(), reqs, gotRes, gotErr)
+
+			for i := range reqs {
+				if (wantErr[i] == nil) != (gotErr[i] == nil) {
+					t.Fatalf("req %d: err %v vs %v", i, wantErr[i], gotErr[i])
+				}
+				w, g := wantRes[i], gotRes[i]
+				if w.Origin != g.Origin {
+					t.Fatalf("req %d: origin %v vs %v", i, w.Origin, g.Origin)
+				}
+				// Each harness owns a distinct native plan object; everything
+				// else (candidates) is shared, so pointers must match exactly.
+				if w.Chosen == seq.native || g.Chosen == bat.native {
+					if w.Chosen != seq.native || g.Chosen != bat.native {
+						t.Fatalf("req %d: only one path served the native plan", i)
+					}
+				} else if w.Chosen != g.Chosen {
+					t.Fatalf("req %d: chose different plans (%v)", i, w.Origin)
+				}
+				if len(w.Estimates) != len(g.Estimates) {
+					t.Fatalf("req %d: %d estimates vs %d", i, len(w.Estimates), len(g.Estimates))
+				}
+				for j := range w.Estimates {
+					if w.Estimates[j] != g.Estimates[j] {
+						t.Fatalf("req %d estimate %d: %v vs %v", i, j, w.Estimates[j], g.Estimates[j])
+					}
+				}
+				if (w.FallbackCause == nil) != (g.FallbackCause == nil) {
+					t.Fatalf("req %d: cause %v vs %v", i, w.FallbackCause, g.FallbackCause)
+				}
+			}
+			for _, name := range ladderCounters {
+				if w, g := seq.counter(t, name), bat.counter(t, name); w != g {
+					t.Fatalf("%s: sequential %d vs batch %d", name, w, g)
+				}
+			}
+			// The batch path additionally records its coalescing instruments.
+			if f := bat.counter(t, "guard.coalesce.flushes"); f != 1 {
+				t.Fatalf("coalesce flushes = %d, want 1", f)
+			}
+		})
+	}
+}
+
+// TestServeBatchDegrades: a scorer without group support, or a trivial batch,
+// serves through the plain per-request ladder — same outcomes, no coalescing
+// telemetry.
+func TestServeBatchDegrades(t *testing.T) {
+	t.Run("non-batch scorer", func(t *testing.T) {
+		h := newHarness(smallCfg(), &stubScorer{}, nil)
+		reqs := coalesceReqs(4)
+		res := make([]Result, len(reqs))
+		errs := make([]error, len(reqs))
+		h.g.ServeBatch(context.Background(), reqs, res, errs)
+		for i := range reqs {
+			if errs[i] != nil || res[i].Origin != OriginLearned {
+				t.Fatalf("req %d: err=%v origin=%v", i, errs[i], res[i].Origin)
+			}
+		}
+		if f := h.counter(t, "guard.coalesce.flushes"); f != 0 {
+			t.Fatalf("degraded path recorded %d flushes", f)
+		}
+	})
+	t.Run("single request", func(t *testing.T) {
+		h := newHarness(smallCfg(), &batchStub{}, nil)
+		reqs := coalesceReqs(1)
+		res := make([]Result, 1)
+		errs := make([]error, 1)
+		h.g.ServeBatch(context.Background(), reqs, res, errs)
+		if errs[0] != nil || res[0].Origin != OriginLearned {
+			t.Fatalf("err=%v origin=%v", errs[0], res[0].Origin)
+		}
+		if f := h.counter(t, "guard.coalesce.flushes"); f != 0 {
+			t.Fatalf("trivial batch recorded %d flushes", f)
+		}
+	})
+	t.Run("cancelled context", func(t *testing.T) {
+		h := newHarness(smallCfg(), &batchStub{}, nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		reqs := coalesceReqs(3)
+		res := make([]Result, len(reqs))
+		errs := make([]error, len(reqs))
+		h.g.ServeBatch(ctx, reqs, res, errs)
+		for i := range errs {
+			if !errors.Is(errs[i], context.Canceled) {
+				t.Fatalf("req %d: err = %v, want context.Canceled", i, errs[i])
+			}
+		}
+	})
+}
+
+// TestCoalescerConcurrentServe: with CoalesceWindow set, concurrent Serve
+// calls flow through the group-commit coalescer — every request still gets
+// its own correct outcome, the request/flush accounting adds up, and the
+// window bounds each fused batch (16 requests through a window of 4 need at
+// least 4 flushes).
+func TestCoalescerConcurrentServe(t *testing.T) {
+	stub := &batchStub{}
+	h := newHarness(smallCfg(), stub, func(o *Options) { o.CoalesceWindow = 4 })
+	const n = 16
+	reqs := coalesceReqs(n)
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := range reqs {
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			res, err := h.g.Serve(context.Background(), req)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if res.Origin != OriginLearned || res.Chosen != req.Cands[len(req.Cands)-1] {
+				errCh <- fmt.Errorf("request %s: wrong outcome (origin %v)", req.ID, res.Origin)
+				return
+			}
+			if len(res.Estimates) != 2 || res.Estimates[0] != 2 || res.Estimates[1] != 1 {
+				errCh <- fmt.Errorf("request %s: estimates %v", req.ID, res.Estimates)
+			}
+		}(reqs[i])
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	requests := h.counter(t, "guard.coalesce.requests")
+	flushes := h.counter(t, "guard.coalesce.flushes")
+	if requests != n {
+		t.Fatalf("coalesce requests = %d, want %d", requests, n)
+	}
+	if flushes < (n+3)/4 || flushes > n {
+		t.Fatalf("coalesce flushes = %d, want within [%d, %d]", flushes, (n+3)/4, n)
+	}
+	if got := h.counter(t, "guard.serve.learned"); got != n {
+		t.Fatalf("serve.learned = %d, want %d", got, n)
+	}
+	stub.mu.Lock()
+	defer stub.mu.Unlock()
+	if stub.singleCalls != 0 {
+		t.Fatalf("%d requests bypassed the coalescer", stub.singleCalls)
+	}
+}
+
+// TestServeBatchWarmFlushZeroAlloc: after the first flush grows the scratch,
+// a ServeBatch flush over caller-owned result slices allocates nothing — the
+// coalesced flush path is inside the zero-alloc serving contract.
+func TestServeBatchWarmFlushZeroAlloc(t *testing.T) {
+	h := newHarness(smallCfg(), &batchStub{}, nil)
+	reqs := coalesceReqs(6)
+	res := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
+	ctx := context.Background()
+	h.g.ServeBatch(ctx, reqs, res, errs)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.g.ServeBatch(ctx, reqs, res, errs)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ServeBatch allocated %.1f times per run, want 0", allocs)
+	}
+}

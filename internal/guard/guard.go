@@ -204,6 +204,11 @@ type Options struct {
 	Injector *faultinject.Injector
 	// Metrics receives the guard.* instruments.
 	Metrics *telemetry.Registry
+	// CoalesceWindow, when > 1, enables cross-query micro-batching on the
+	// learned path: up to this many concurrent Serve calls are coalesced into
+	// one fused scoring pass when the scorer supports batch scoring (see
+	// coalesce.go). ≤ 1 disables coalescing (the default).
+	CoalesceWindow int
 }
 
 // Guard is the guarded serving gate. It is safe for concurrent use: the
@@ -220,6 +225,11 @@ type Guard struct {
 	// sentinel quarantines the scorer — the model-lifecycle drift signal.
 	// Set via SetDriftHook before serving starts.
 	onQuarantine func()
+	// coal is the asynchronous micro-batch coalescer (nil when coalescing is
+	// disabled); sb is ServeBatch's private flush scratch, serialized by
+	// ServeBatch's single-driver contract.
+	coal *coalescer
+	sb   batchScratch
 
 	mu sync.Mutex
 	// scorer is the live learned path. It is mutable: the model lifecycle
@@ -236,7 +246,7 @@ type Guard struct {
 // New builds a guard from options (Config normalized via DefaultConfig).
 func New(o Options) *Guard {
 	cfg := o.Config.normalize()
-	return &Guard{
+	g := &Guard{
 		cfg:    cfg,
 		scorer: o.Scorer,
 		native: o.Native,
@@ -245,6 +255,10 @@ func New(o Options) *Guard {
 		tel:    newGuardTelemetry(o.Metrics),
 		br:     newBreaker(cfg),
 	}
+	if o.CoalesceWindow > 1 {
+		g.coal = &coalescer{window: o.CoalesceWindow}
+	}
+	return g
 }
 
 // Config returns the guard's normalized configuration.
@@ -398,6 +412,11 @@ func (g *Guard) ScoreLearnedKeyed(cands []*plan.Plan, envs encoding.EnvSource, k
 // under one model or the other, never a mixture.
 func (g *Guard) selectLearned(req Request) (*plan.Plan, []float64, error) {
 	scorer := g.currentScorer()
+	if c := g.coal; c != nil {
+		if bs, ok := scorer.(BatchScorer); ok {
+			return c.selectCoalesced(g, bs, req)
+		}
+	}
 	if ks, ok := scorer.(KeyedScorer); ok && req.EnvKey.Keyed {
 		return ks.SelectPlanKeyed(req.Cands, req.Envs, req.EnvKey)
 	}

@@ -1,0 +1,256 @@
+package nn
+
+import "math"
+
+// This file is the quantized inference mode behind ForwardInfer: a float32
+// staging format plus int8 cost-head scoring with int32 accumulation, each
+// returning a rigorous per-output error bound alongside every score. The
+// bound is the load-bearing half of the design: quantized scores are only
+// allowed to pick a plan when the caller can prove from the bounds that the
+// f64 argmin is unchanged (see internal/predictor's margin check and
+// DESIGN.md "Quantized inference & micro-batching contract"). Nothing here
+// is bit-identical to the f64 kernels and nothing here pretends to be —
+// bit-exactness stays the f64 path's contract, and the f64 path remains the
+// fallback whenever a bound is too wide to certify the argmin.
+//
+// Error model, with x the true f64 input row, x32 its float32 staging, and
+// W the true f64 weights:
+//
+//	|x_p − x32_p| ≤ eps32·|x_p| + flush32        (f32 rounding + underflow)
+//	|x32_p − sx·q_p| ≤ sx/2                      (symmetric absmax int8 quant)
+//	|W_pj − SW_j·wq_pj| ≤ SW_j/2                 (per-column weight quant)
+//
+// where eps32 = 2⁻²⁴ is the float32 unit roundoff, flush32 = 2⁻¹⁵⁰ bounds
+// the absolute error of rounding any f64 into f32 space (subnormals and
+// flush-to-zero included), sx = rowAbsMax/127 and SW_j = colAbsMax_j/127.
+// Every bound below is assembled from these three inequalities plus a
+// summation-error term, then widened by quantSlack to absorb the handful of
+// f64 roundings in the dequant and bound arithmetic itself (each of which is
+// a 2⁻⁵²-relative perturbation, seven orders below the slack).
+
+// Mat32 is the float32 twin of Mat: a row-major matrix view over
+// caller-owned storage, used to stage embedding rows for quantized scoring.
+type Mat32 struct {
+	R, C int
+	Data []float32
+}
+
+// Row returns row i of the matrix.
+func (m Mat32) Row(i int) []float32 { return m.Data[i*m.C : (i+1)*m.C] }
+
+const (
+	// eps32 is the float32 unit roundoff 2⁻²⁴.
+	eps32 = 1.0 / (1 << 24)
+	// flush32 bounds the absolute rounding error of any f64→f32 conversion:
+	// relative eps32 everywhere except the subnormal range, where the error
+	// is at most 2⁻¹⁵⁰ absolute (half the smallest positive denormal).
+	flush32 = 0x1p-150
+	// eps64 is the float64 unit roundoff 2⁻⁵².
+	eps64 = 0x1p-52
+	// quantSlack widens every assembled bound to cover the f64 roundings in
+	// the dequant/bound arithmetic: ~10 operations at 2⁻⁵² relative each,
+	// dominated a billionfold.
+	quantSlack = 1 + 1e-9
+)
+
+// QuantLinear is a Linear layer calibrated for quantized inference: int8
+// weights with per-output-column absmax scales (the primary tier), the same
+// weights in float32 (the rescore tier a failed int8 margin check escalates
+// to before falling back to f64), and the precomputed column absolute sums
+// the error bounds need. Calibration is a pure function of the trained f64
+// weights — deterministic, data-free, reproducible on restore.
+type QuantLinear struct {
+	In, Out int
+	// Wq is the In×Out row-major int8 weight matrix:
+	// Wq[p*Out+j] = round(W[p][j]/SW[j]).
+	Wq []int8
+	// W32 is the In×Out row-major float32 weight matrix.
+	W32 []float32
+	// SW[j] = colAbsMax_j/127 is output column j's weight scale (0 for an
+	// all-zero column, whose quantized weights are all exactly 0).
+	SW []float64
+	// ColAbs1[j] = Σ_p |W[p][j]| in f64 — the ‖W_·j‖₁ factor of the bounds.
+	ColAbs1 []float64
+	// B is the f64 bias row, added after dequantization (never quantized:
+	// it is a single addition per output, not worth any precision).
+	B []float64
+}
+
+// QuantizeLinear calibrates l for quantized inference. Deterministic:
+// absmax scales and round-half-away-from-zero depend only on the weights.
+func QuantizeLinear(l *Linear) *QuantLinear {
+	in, out := l.W.R, l.W.C
+	q := &QuantLinear{
+		In:      in,
+		Out:     out,
+		Wq:      make([]int8, in*out),
+		W32:     make([]float32, in*out),
+		SW:      make([]float64, out),
+		ColAbs1: make([]float64, out),
+		B:       make([]float64, out),
+	}
+	copy(q.B, l.B.Data)
+	for j := 0; j < out; j++ {
+		maxAbs := 0.0
+		for p := 0; p < in; p++ {
+			if a := math.Abs(l.W.Data[p*out+j]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		q.SW[j] = maxAbs / 127
+	}
+	for p := 0; p < in; p++ {
+		for j := 0; j < out; j++ {
+			w := l.W.Data[p*out+j]
+			q.ColAbs1[j] += math.Abs(w)
+			q.W32[p*out+j] = float32(w)
+			if q.SW[j] > 0 {
+				q.Wq[p*out+j] = clampInt8(math.Round(w / q.SW[j]))
+			}
+		}
+	}
+	return q
+}
+
+func clampInt8(v float64) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -127 {
+		return -127
+	}
+	return int8(v)
+}
+
+// rowAbsMax scans an f32 row for its absolute maximum in f64. The second
+// return is false when the row contains a non-finite value, in which case no
+// quantization bound holds and the caller must fall back.
+func rowAbsMax(row []float32) (float64, bool) {
+	maxAbs := 0.0
+	for _, v := range row {
+		a := math.Abs(float64(v))
+		if a > maxAbs {
+			maxAbs = a
+		} else if math.IsNaN(a) {
+			// NaN compares false against everything, so it would never become
+			// maxAbs — it must be caught here or a NaN row would quantize to
+			// garbage under a finite bound.
+			return 0, false
+		}
+	}
+	if math.IsInf(maxAbs, 0) {
+		return 0, false
+	}
+	return maxAbs, true
+}
+
+// ForwardInferQuant scores the staged rows of x (n×In float32) through the
+// int8 weights with int32 accumulation, writing dequantized scores into out
+// and a rigorous per-output error bound |trueScore − out| ≤ bound into
+// bound (both n×Out, caller-owned). qrow is an In-element caller-owned
+// staging buffer for one row's quantized inputs; the call allocates nothing
+// (it is an allocdiscipline root). A non-finite input row yields NaN scores
+// with +Inf bounds, which no margin check can certify — the caller's
+// fallback handles it. In·127² must stay below 2³¹ for the int32
+// accumulator (any realistic embedding dimension is orders below that).
+//
+// Input quantization is dynamic per row — sx_i = rowAbsMax_i/127 — rather
+// than calibrated from an activation sample: it is just as deterministic
+// and it is what makes the error bound exact instead of statistical.
+func (q *QuantLinear) ForwardInferQuant(qrow []int8, x Mat32, out, bound []float64) {
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		orow := out[i*q.Out : (i+1)*q.Out]
+		brow := bound[i*q.Out : (i+1)*q.Out]
+		maxAbs, finite := rowAbsMax(row)
+		if !finite {
+			for j := range orow {
+				orow[j] = math.NaN()
+				brow[j] = math.Inf(1)
+			}
+			continue
+		}
+		sx := maxAbs / 127
+		// Quantize the row; S accumulates Σ_p |q_p| for the weight-residual
+		// term of the bound (exact in f64: it is a small-integer sum).
+		s := 0.0
+		if sx > 0 {
+			for p, v := range row {
+				r := math.Round(float64(v) / sx)
+				qp := clampInt8(r)
+				qrow[p] = qp
+				s += math.Abs(float64(qp))
+			}
+		} else {
+			for p := range row {
+				qrow[p] = 0
+			}
+		}
+		// Per-element input residual |x_p − sx·q_p|, assembled from the
+		// error model at the top of the file:
+		//   f32 rounding   eps32·|x_p| ≤ 127·eps32·(1+eps32)·sx + eps32·flush32
+		//   quantization   sx/2
+		//   underflow      flush32
+		perElem := sx*(0.5+127*eps32*(1+eps32)) + flush32*(1+eps32)
+		for j := 0; j < q.Out; j++ {
+			acc := int32(0)
+			for p, qp := range qrow {
+				acc += int32(qp) * int32(q.Wq[p*q.Out+j])
+			}
+			y := sx*q.SW[j]*float64(acc) + q.B[j]
+			orow[j] = y
+			// |y_true − y| ≤ Σ_p|x_p − sx·q_p|·|W_pj|         (input residual)
+			//             + sx·(SW_j/2)·Σ_p|q_p|              (weight residual)
+			//             + dequant f64 rounding.
+			brow[j] = quantSlack*(perElem*q.ColAbs1[j]+0.5*sx*q.SW[j]*s) +
+				4*eps64*(math.Abs(y)+math.Abs(q.B[j]))
+		}
+	}
+}
+
+// ForwardInfer32 scores the staged rows of x through the float32 weights
+// with float32 accumulation — the rescore tier between int8 and the f64
+// fallback, roughly 3000× tighter than the int8 bound at cost-head sizes.
+// out and bound are n×Out caller-owned; the call allocates nothing. The
+// four-lane partial sums reorder the accumulation, which is fine here: the
+// summation-error term of the bound covers every summation order of In
+// products, and this path never claims bit-exactness.
+func (q *QuantLinear) ForwardInfer32(x Mat32, out, bound []float64) {
+	k := float64(q.In)
+	for i := 0; i < x.R; i++ {
+		row := x.Row(i)
+		orow := out[i*q.Out : (i+1)*q.Out]
+		brow := bound[i*q.Out : (i+1)*q.Out]
+		maxAbs, finite := rowAbsMax(row)
+		if !finite {
+			for j := range orow {
+				orow[j] = math.NaN()
+				brow[j] = math.Inf(1)
+			}
+			continue
+		}
+		for j := 0; j < q.Out; j++ {
+			var s0, s1, s2, s3 float32
+			p := 0
+			for ; p+4 <= q.In; p += 4 {
+				s0 += row[p] * q.W32[p*q.Out+j]
+				s1 += row[p+1] * q.W32[(p+1)*q.Out+j]
+				s2 += row[p+2] * q.W32[(p+2)*q.Out+j]
+				s3 += row[p+3] * q.W32[(p+3)*q.Out+j]
+			}
+			s := s0 + s1 + s2 + s3
+			for ; p < q.In; p++ {
+				s += row[p] * q.W32[p*q.Out+j]
+			}
+			y := float64(s) + q.B[j]
+			orow[j] = y
+			// (k+6)·eps32·maxAbs·ColAbs1_j covers input rounding (1·eps32),
+			// weight rounding (1·eps32), and f32 products-plus-any-order
+			// summation (≤ (k+2)·eps32 first-order, padded); the flush32
+			// terms cover subnormal underflow of inputs and weights.
+			m := maxAbs * q.ColAbs1[j]
+			brow[j] = quantSlack*((k+6)*eps32*m+flush32*((1+eps32)*q.ColAbs1[j]+k*maxAbs)) +
+				4*eps64*(math.Abs(y)+math.Abs(q.B[j]))
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"loam/internal/simrand"
+)
+
+// narrow32 stages an f64 matrix into float32 the way the predictor does
+// before quantized scoring.
+func narrow32(x []float64) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// TestQuantizeLinearDeterministic: calibration is a pure function of the
+// trained weights — two calls produce identical scales, quantized weights and
+// column sums, so a restore-time recalibration reproduces the snapshot's
+// quantization state exactly.
+func TestQuantizeLinearDeterministic(t *testing.T) {
+	rng := simrand.New(21)
+	l := NewLinear(rng.Derive("lin"), 24, 6)
+	a, b := QuantizeLinear(l), QuantizeLinear(l)
+	if a.In != b.In || a.Out != b.Out {
+		t.Fatal("shape mismatch")
+	}
+	for i := range a.Wq {
+		if a.Wq[i] != b.Wq[i] {
+			t.Fatalf("Wq[%d]: %d vs %d", i, a.Wq[i], b.Wq[i])
+		}
+		if math.Float32bits(a.W32[i]) != math.Float32bits(b.W32[i]) {
+			t.Fatalf("W32[%d] differs", i)
+		}
+	}
+	for j := range a.SW {
+		if math.Float64bits(a.SW[j]) != math.Float64bits(b.SW[j]) ||
+			math.Float64bits(a.ColAbs1[j]) != math.Float64bits(b.ColAbs1[j]) ||
+			math.Float64bits(a.B[j]) != math.Float64bits(b.B[j]) {
+			t.Fatalf("column %d calibration differs", j)
+		}
+	}
+}
+
+// TestQuantBoundsSound is the property test behind the argmin-preservation
+// contract: for random layers and inputs, the true f64 score always lies
+// within the reported bound of the quantized score — on both the int8 tier
+// and the f32 rescore tier. If this ever fails, a "certified" argmin could be
+// wrong and quantized mode would change chosen plans.
+func TestQuantBoundsSound(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := simrand.New(100 + seed)
+		n := 1 + rng.Intn(12)
+		in := 4 + rng.Intn(60)
+		out := 1 + rng.Intn(8)
+		l := NewLinear(rng.Derive("lin"), in, out)
+		// Mix magnitudes so rows span well-scaled, tiny and large regimes.
+		x := make([]float64, n*in)
+		for i := range x {
+			switch rng.Intn(4) {
+			case 0: // exact zero
+			case 1:
+				x[i] = rng.Uniform(-1e-6, 1e-6)
+			case 2:
+				x[i] = rng.Uniform(-100, 100)
+			default:
+				x[i] = rng.Uniform(-2, 2)
+			}
+		}
+		var s Scratch
+		ref := l.ForwardInfer(&s, Mat{R: n, C: in, Data: x})
+
+		q := QuantizeLinear(l)
+		x32 := Mat32{R: n, C: in, Data: narrow32(x)}
+		got := make([]float64, n*out)
+		bnd := make([]float64, n*out)
+		qrow := make([]int8, in)
+
+		q.ForwardInferQuant(qrow, x32, got, bnd)
+		for i := range got {
+			if err := math.Abs(ref.Data[i] - got[i]); !(err <= bnd[i]) {
+				t.Fatalf("seed %d int8: |%.17g - %.17g| = %g exceeds bound %g (elem %d, n=%d in=%d out=%d)",
+					seed, ref.Data[i], got[i], err, bnd[i], i, n, in, out)
+			}
+		}
+
+		q.ForwardInfer32(x32, got, bnd)
+		for i := range got {
+			if err := math.Abs(ref.Data[i] - got[i]); !(err <= bnd[i]) {
+				t.Fatalf("seed %d f32: |%.17g - %.17g| = %g exceeds bound %g (elem %d, n=%d in=%d out=%d)",
+					seed, ref.Data[i], got[i], err, bnd[i], i, n, in, out)
+			}
+		}
+	}
+}
+
+// TestQuantNonFiniteRows: a non-finite input row must yield NaN scores with
+// +Inf bounds on both tiers — uncertifiable by construction, forcing the f64
+// fallback rather than silently scoring garbage.
+func TestQuantNonFiniteRows(t *testing.T) {
+	rng := simrand.New(31)
+	in, out := 8, 3
+	l := NewLinear(rng.Derive("lin"), in, out)
+	q := QuantizeLinear(l)
+	for _, bad := range []float32{float32(math.NaN()), float32(math.Inf(1)), float32(math.Inf(-1))} {
+		x := make([]float32, 2*in)
+		for i := range x {
+			x[i] = 1
+		}
+		x[in+3] = bad // second row poisoned, first row clean
+		got := make([]float64, 2*out)
+		bnd := make([]float64, 2*out)
+		qrow := make([]int8, in)
+		q.ForwardInferQuant(qrow, Mat32{R: 2, C: in, Data: x}, got, bnd)
+		for j := 0; j < out; j++ {
+			if math.IsNaN(got[j]) || math.IsInf(bnd[j], 1) {
+				t.Fatalf("clean row poisoned: out=%v bound=%v", got[j], bnd[j])
+			}
+			if !math.IsNaN(got[out+j]) || !math.IsInf(bnd[out+j], 1) {
+				t.Fatalf("poisoned row not flagged: out=%v bound=%v", got[out+j], bnd[out+j])
+			}
+		}
+		q.ForwardInfer32(Mat32{R: 2, C: in, Data: x}, got, bnd)
+		for j := 0; j < out; j++ {
+			if !math.IsNaN(got[out+j]) || !math.IsInf(bnd[out+j], 1) {
+				t.Fatalf("f32 tier: poisoned row not flagged: out=%v bound=%v", got[out+j], bnd[out+j])
+			}
+		}
+	}
+}
+
+// TestMatMulNTBlockedIntoBitIdentical: the blocked, 4-wide-unrolled kernel
+// must stay bit-identical to MatMulNTInto (and through it to autograd) across
+// shapes that exercise full tiles, partial tiles and the scalar column tail.
+func TestMatMulNTBlockedIntoBitIdentical(t *testing.T) {
+	rng := simrand.New(41)
+	for _, shape := range [][3]int{
+		{1, 7, 1},    // degenerate
+		{9, 14, 6},   // column tail (6 = 4+2)
+		{48, 33, 48}, // exactly one tile
+		{50, 40, 51}, // tile tails on both axes
+		{97, 21, 8},  // multiple row tiles
+	} {
+		n, k, m := shape[0], shape[1], shape[2]
+		a := randMat(rng, n, k)
+		bt := randMat(rng, m, k)
+		want := make([]float64, n*m)
+		got := make([]float64, n*m)
+		MatMulNTInto(want, a, bt, n, k, m)
+		MatMulNTBlockedInto(got, a, bt, n, k, m)
+		sameBits(t, "blocked", want, got)
+	}
+}
+
+// TestQuantZeroAlloc: both quantized tiers are allocdiscipline roots — after
+// warm-up they must not allocate.
+func TestQuantZeroAlloc(t *testing.T) {
+	rng := simrand.New(51)
+	n, in, out := 8, 32, 4
+	l := NewLinear(rng.Derive("lin"), in, out)
+	q := QuantizeLinear(l)
+	x := Mat32{R: n, C: in, Data: narrow32(randMat(rng, n, in))}
+	got := make([]float64, n*out)
+	bnd := make([]float64, n*out)
+	qrow := make([]int8, in)
+	if allocs := testing.AllocsPerRun(100, func() {
+		q.ForwardInferQuant(qrow, x, got, bnd)
+		q.ForwardInfer32(x, got, bnd)
+	}); allocs != 0 {
+		t.Fatalf("quantized scoring allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -48,12 +48,61 @@ type Plan struct {
 	// Knobs lists the exploration knobs applied ("flag:mergeJoin",
 	// "cardScale:2.0", ...); empty for the default plan.
 	Knobs []string `json:"knobs,omitempty"`
+
+	// sealFP/sealed memoize Root.Fingerprint() for plans whose producer
+	// promises not to mutate the tree afterwards (Seal/SealAs). The seal is
+	// plain state, not an atomic: it must be written before the plan is
+	// shared (the explorer seals candidates at generation, on the serving
+	// goroutine, before any worker sees them), and concurrent readers only
+	// ever read it. Clone and JSON round-trips drop the seal, so a caller
+	// who mutates a copy can never observe a stale fingerprint.
+	sealFP uint64
+	sealed bool
 }
 
 // IsDefault reports whether the plan was produced with no exploration knobs.
 func (p *Plan) IsDefault() bool { return len(p.Knobs) == 0 }
 
-// Clone deep-copies the plan.
+// Seal memoizes and returns the plan's structural fingerprint. Sealing is a
+// promise that the tree will not be mutated afterwards; it must happen
+// before the plan is shared across goroutines (the explorer seals candidates
+// at generation time). Idempotent: a sealed plan returns its stored value.
+func (p *Plan) Seal() uint64 {
+	if p.sealed {
+		return p.sealFP
+	}
+	p.sealFP = p.Root.Fingerprint()
+	p.sealed = true
+	return p.sealFP
+}
+
+// SealAs installs fp as the plan's sealed fingerprint — for producers that
+// already computed Root.Fingerprint() (the explorer's dedup pass) and must
+// not pay for it twice. fp must equal Root.Fingerprint(); the same
+// no-mutation and publish-before-share rules as Seal apply.
+func (p *Plan) SealAs(fp uint64) {
+	p.sealFP = fp
+	p.sealed = true
+}
+
+// SealedFingerprint returns the sealed fingerprint, if any.
+func (p *Plan) SealedFingerprint() (uint64, bool) { return p.sealFP, p.sealed }
+
+// CacheFingerprint is the fingerprint used to key the predictor's
+// plan-embedding cache: the sealed value when present (no tree walk — the
+// serving hot path), otherwise a fresh Root.Fingerprint(). It never stores:
+// an unsealed plan may be shared by concurrent readers, and memoizing here
+// would race.
+func (p *Plan) CacheFingerprint() uint64 {
+	if p.sealed {
+		return p.sealFP
+	}
+	return p.Root.Fingerprint()
+}
+
+// Clone deep-copies the plan. The copy is unsealed regardless of the
+// receiver's seal state: a clone exists to be mutated, and a carried-over
+// fingerprint would go stale with the first edit.
 func (p *Plan) Clone() *Plan {
 	if p == nil {
 		return nil

@@ -1,0 +1,353 @@
+package predictor
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"loam/internal/encoding"
+	"loam/internal/plan"
+	"loam/internal/telemetry"
+)
+
+// TestQuantArgminPreserved is the contract test for quantized mode: across
+// seeds, backbones and candidate-set sizes, the plan chosen with quantized
+// scoring enabled is identical to the plan chosen with it off. Uncertifiable
+// batches are allowed (they fall back to f64, counted), but a certified batch
+// that picks a different plan is a soundness failure.
+func TestQuantArgminPreserved(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	for seed := uint64(31); seed < 35; seed++ {
+		samples, _ := synthetic(80, seed)
+		p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		p.Instrument(reg)
+		p.EnablePlanCache(256)
+		envs := encoding.FixedEnv(p.TrainMeanEnv())
+		key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+
+		// Sweep candidate sets of varied size and composition.
+		type pick struct {
+			best  *plan.Plan
+			cands []*plan.Plan
+		}
+		var sets [][]*plan.Plan
+		for lo := 0; lo+2 < len(samples); lo += 7 {
+			n := 2 + lo%9
+			if lo+n > len(samples) {
+				n = len(samples) - lo
+			}
+			cands := make([]*plan.Plan, n)
+			for i := range cands {
+				cands[i] = samples[lo+i].Plan
+			}
+			sets = append(sets, cands)
+		}
+
+		var want []pick
+		for _, cands := range sets {
+			best, _, err := p.SelectPlanKeyed(cands, envs, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, pick{best: best, cands: cands})
+		}
+
+		p.SetScoringConfig(ScoringConfig{Quantized: true})
+		if p.quant == nil {
+			t.Fatal("quantized mode did not calibrate")
+		}
+		for i, w := range want {
+			best, costs, err := p.SelectPlanKeyed(w.cands, envs, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if best != w.best {
+				t.Fatalf("seed %d set %d: quantized mode chose a different plan", seed, i)
+			}
+			for j, c := range costs {
+				if math.IsNaN(c) || c <= 0 {
+					t.Fatalf("seed %d set %d: bad quantized estimate %v at %d", seed, i, c, j)
+				}
+			}
+		}
+
+		// Accounting: every quantized batch resolved on exactly one tier.
+		batches := p.tel.quantBatches.Value()
+		resolved := p.tel.quantInt8.Value() + p.tel.quantF32.Value() + p.tel.quantFallbacks.Value()
+		if batches == 0 {
+			t.Fatalf("seed %d: no quantized batches recorded", seed)
+		}
+		if batches != resolved {
+			t.Fatalf("seed %d: %d quantized batches but %d tier resolutions", seed, batches, resolved)
+		}
+	}
+}
+
+// TestQuantSelectAllocParity: quantized keyed selection in the steady state
+// (warm plan cache, grown scratch) allocates exactly as much as the f64 path
+// — the one allowlisted returned-costs slice per call, nothing from the
+// quantized tiers themselves. And PredictCost, which stays pure f64 under
+// quantized mode, remains allocation-free.
+func TestQuantSelectAllocParity(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(60, 36)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnablePlanCache(64)
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+	cands := make([]*plan.Plan, 8)
+	for i := range cands {
+		cands[i] = samples[i].Plan
+	}
+	warmSelect := func() {
+		if _, _, err := p.SelectPlanKeyed(cands, envs, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmSelect()
+	f64Allocs := testing.AllocsPerRun(100, warmSelect)
+
+	p.SetScoringConfig(ScoringConfig{Quantized: true})
+	warmSelect()
+	if got := testing.AllocsPerRun(100, warmSelect); got != f64Allocs {
+		t.Fatalf("warm quantized select allocated %.1f times per run, f64 path %.1f", got, f64Allocs)
+	}
+	if f64Allocs > 1 {
+		t.Fatalf("warm select allocated %.1f times per run, want at most the returned costs slice", f64Allocs)
+	}
+
+	p.PredictCost(cands[0], envs)
+	if got := testing.AllocsPerRun(100, func() { p.PredictCost(cands[0], envs) }); got != 0 {
+		t.Fatalf("PredictCost under quantized mode allocated %.1f times per run, want 0", got)
+	}
+}
+
+// TestSelectPlanGroupsMatchesPerGroup: the fused group scorer must reproduce
+// per-group SelectPlanKeyed exactly — bit-identical costs and the same chosen
+// plan on the f64 path, the same chosen plan on the quantized path — and
+// handle empty groups with the ErrNoCandidates sentinel without disturbing
+// their neighbors.
+func TestSelectPlanGroupsMatchesPerGroup(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(80, 37)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EnablePlanCache(256)
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+
+	mkGroups := func() []Group {
+		gs := make([]Group, 0, 5)
+		for _, span := range [][2]int{{0, 5}, {5, 5}, {10, 0}, {10, 3}, {13, 7}} {
+			cands := make([]*plan.Plan, span[1])
+			for i := range cands {
+				cands[i] = samples[span[0]+i].Plan
+			}
+			gs = append(gs, Group{Cands: cands, Envs: envs, Key: key, Costs: make([]float64, len(cands))})
+		}
+		return gs
+	}
+
+	check := func(name string, wantBits bool) {
+		t.Helper()
+		groups := mkGroups()
+		p.SelectPlanGroups(groups)
+		for gi := range groups {
+			g := &groups[gi]
+			if len(g.Cands) == 0 {
+				if !errors.Is(g.Err, ErrNoCandidates) {
+					t.Fatalf("%s group %d: empty group err = %v, want ErrNoCandidates", name, gi, g.Err)
+				}
+				continue
+			}
+			best, costs, err := p.SelectPlanKeyed(g.Cands, envs, key)
+			if err != nil || g.Err != nil {
+				t.Fatalf("%s group %d: errs %v / %v", name, gi, err, g.Err)
+			}
+			if g.Best != best {
+				t.Fatalf("%s group %d: fused scoring chose a different plan", name, gi)
+			}
+			if wantBits {
+				costsSameBits(t, name, costs, g.Costs)
+			}
+		}
+	}
+
+	check("f64", true)
+	p.SetScoringConfig(ScoringConfig{Quantized: true})
+	// Quantized costs are certified-argmin estimates, not bit-copies of f64;
+	// only the choices are contractual.
+	check("quant", false)
+}
+
+// TestSelectPlanGroupsZeroAlloc: a warm fused flush (embeddings cached,
+// scratch grown, caller-owned cost arenas) is allocation-free end to end.
+func TestSelectPlanGroupsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; allocation counts are meaningless")
+	}
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(60, 38)
+	p, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetScoringConfig(ScoringConfig{Quantized: true})
+	p.EnablePlanCache(64)
+	envs := encoding.FixedEnv(p.TrainMeanEnv())
+	key := p.EnvKeyFor(StrategyMeanEnv, [4]float64{}, [4]float64{})
+	groups := make([]Group, 3)
+	for gi := range groups {
+		cands := make([]*plan.Plan, 4)
+		for i := range cands {
+			cands[i] = samples[gi*4+i].Plan
+		}
+		groups[gi] = Group{Cands: cands, Envs: envs, Key: key, Costs: make([]float64, len(cands))}
+	}
+	p.SelectPlanGroups(groups)
+	allocs := testing.AllocsPerRun(100, func() { p.SelectPlanGroups(groups) })
+	if allocs != 0 {
+		t.Fatalf("warm fused group scoring allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestQuantSnapshotRoundTrip: Save/Load preserves the scoring configuration
+// and rebuilds the quantization state, and the restored predictor picks the
+// same plans as the original.
+func TestQuantSnapshotRoundTrip(t *testing.T) {
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(60, 39)
+	orig, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.SetScoringConfig(ScoringConfig{ParallelThreshold: 9, Quantized: true})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.ScoringConfig(); got != orig.ScoringConfig() {
+		t.Fatalf("scoring config lost: %+v vs %+v", got, orig.ScoringConfig())
+	}
+	if loaded.quant == nil {
+		t.Fatal("quantization state not rebuilt on load")
+	}
+	for j := range orig.quant.SW {
+		if orig.quant.SW[j] != loaded.quant.SW[j] || orig.quant.ColAbs1[j] != loaded.quant.ColAbs1[j] {
+			t.Fatalf("recalibration drifted at column %d", j)
+		}
+	}
+	envs := encoding.FixedEnv(orig.TrainMeanEnv())
+	cands := []*plan.Plan{samples[0].Plan, samples[3].Plan, samples[6].Plan, samples[9].Plan}
+	wantBest, _, err := orig.SelectPlan(cands, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, _, err := loaded.SelectPlan(cands, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantBest != gotBest {
+		t.Fatal("restored predictor chose a different plan")
+	}
+}
+
+// TestQuantSnapshotOmittedWhenDefault: a predictor with the default scoring
+// configuration serializes without scoring or quant fields — byte-compatible
+// with snapshots written before the fields existed.
+func TestQuantSnapshotOmittedWhenDefault(t *testing.T) {
+	snap := savedSnapshot(t, KindTCN)
+	if _, ok := snap["scoring"]; ok {
+		t.Fatal("default scoring config was serialized")
+	}
+	if _, ok := snap["quant"]; ok {
+		t.Fatal("quant state serialized without quantized mode")
+	}
+}
+
+// quantSavedSnapshot trains a quantized-mode predictor and returns its
+// decoded snapshot payload for tampering.
+func quantSavedSnapshot(t *testing.T) map[string]json.RawMessage {
+	t.Helper()
+	enc := encoding.NewEncoder(encoding.DefaultConfig())
+	samples, _ := synthetic(40, 40)
+	orig, err := Train(tinyConfig(KindTCN), enc, samples, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.SetScoringConfig(ScoringConfig{Quantized: true})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(framedPayload(t, buf.Bytes()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestLoadRejectsTamperedQuantState: the stored calibration is cross-checked
+// against recalibration from the restored weights; a snapshot whose scales
+// disagree with its own weights is corrupt, as is an unsupported quant
+// version. A quantized snapshot with the quant field dropped entirely
+// recalibrates silently (the "recalibrated on restore if absent" contract).
+func TestLoadRejectsTamperedQuantState(t *testing.T) {
+	base := quantSavedSnapshot(t)
+	if _, ok := base["quant"]; !ok {
+		t.Fatal("quantized snapshot carries no quant state")
+	}
+
+	tamper := func(mut func(q *quantSnap) bool) error {
+		t.Helper()
+		snap := map[string]json.RawMessage{}
+		for k, v := range base {
+			snap[k] = v
+		}
+		var q quantSnap
+		if err := json.Unmarshal(snap["quant"], &q); err != nil {
+			t.Fatal(err)
+		}
+		if keep := mut(&q); keep {
+			data, err := json.Marshal(&q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap["quant"] = data
+		} else {
+			delete(snap, "quant")
+		}
+		return loadSnapshot(t, snap)
+	}
+
+	if err := tamper(func(q *quantSnap) bool { q.SW[0] += 1e-9; return true }); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("drifted scale: want ErrCorruptSnapshot, got %v", err)
+	}
+	if err := tamper(func(q *quantSnap) bool { q.ColAbs1 = q.ColAbs1[:0]; return true }); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("truncated column sums: want ErrCorruptSnapshot, got %v", err)
+	}
+	if err := tamper(func(q *quantSnap) bool { q.Version = 99; return true }); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("unknown quant version: want ErrCorruptSnapshot, got %v", err)
+	}
+	if err := tamper(func(q *quantSnap) bool { return false }); err != nil {
+		t.Fatalf("absent quant state must recalibrate silently, got %v", err)
+	}
+}

@@ -277,6 +277,9 @@ type Deployment struct {
 	// cache, so embeddings can never outlive the weights that produced them.
 	pred         atomic.Pointer[predictor.Predictor]
 	planCacheCap int
+	// microBatch is the cross-query coalescing window (WithMicroBatch); ≤ 1
+	// serves without coalescing.
+	microBatch int
 	// governedCap is the plan-cache capacity granted by a fleet registry's
 	// budget governor, or -1 while the deployment serves ungoverned. Once a
 	// registry takes over (setGovernedCache), its grant — not the deploy-time
@@ -370,6 +373,7 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 	if err != nil {
 		return nil, fmt.Errorf("deploy %s: %w", ps.Config.Name, err)
 	}
+	applyScoring(pred, o)
 	// A fresh cache per deployment is the invalidation rule: embeddings can
 	// never outlive the weights that produced them.
 	pred.EnablePlanCache(o.planCache)
@@ -380,6 +384,7 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 		TrainSize:    len(train),
 		TestSet:      test,
 		planCacheCap: o.planCache,
+		microBatch:   o.microBatch,
 		inj:          o.injector,
 		tel:          o.metrics,
 		obs:          newServingTelemetry(o.metrics),
@@ -394,6 +399,15 @@ func (ps *ProjectSim) Deploy(cfg DeployConfig, opts ...DeployOption) (*Deploymen
 		}
 	}
 	return d, nil
+}
+
+// applyScoring installs the deploy-time scoring configuration on a predictor
+// about to serve. A nil option keeps whatever the predictor already carries —
+// training defaults, or the configuration a restored snapshot persisted.
+func applyScoring(pred *predictor.Predictor, o deployOptions) {
+	if o.scoring != nil {
+		pred.SetScoringConfig(*o.scoring)
+	}
 }
 
 // attachLifecycle wires the model lifecycle manager when WithLifecycle was
@@ -426,8 +440,9 @@ func (ps *ProjectSim) newGuard(pred *predictor.Predictor, o deployOptions) *guar
 		Rough: func(day int, p *plan.Plan) float64 {
 			return nativeopt.New(ps.View(day)).RoughCost(p)
 		},
-		Injector: o.injector,
-		Metrics:  o.metrics,
+		Injector:       o.injector,
+		Metrics:        o.metrics,
+		CoalesceWindow: o.microBatch,
 	})
 }
 
@@ -552,6 +567,10 @@ func (d *Deployment) OptimizeBatch(ctx context.Context, qs []*query.Query, paral
 		parallelism = len(qs)
 	}
 	if parallelism <= 1 {
+		if d.microBatch > 1 && len(qs) > 1 {
+			d.optimizeBatchCoalesced(ctx, qs, choices, errs)
+			return choices, batchError(qs, errs)
+		}
 		for i, q := range qs {
 			if err := ctx.Err(); err != nil {
 				fillUnstarted(errs, i, err)
@@ -586,6 +605,88 @@ feed:
 	close(jobs)
 	wg.Wait()
 	return choices, batchError(qs, errs)
+}
+
+// optimizeBatchCoalesced is the sequential OptimizeBatch drive with
+// micro-batching on (WithMicroBatch): queries are steered in chunks of the
+// coalescing window, and each chunk's learned-path scoring runs as one fused
+// cost-head pass through the guard's deterministic ServeBatch (observed in
+// the serve.batch.coalesced histogram). Per-query choices, estimates and
+// telemetry counts match the unfused sequential drive; estimate slices are
+// copied out of the guard's flush scratch because Choices outlive it.
+func (d *Deployment) optimizeBatchCoalesced(ctx context.Context, qs []*query.Query, choices []*Choice, errs []error) {
+	w := d.microBatch
+	reqs := make([]guard.Request, 0, w)
+	results := make([]guard.Result, w)
+	rerrs := make([]error, w)
+	for start := 0; start < len(qs); start += w {
+		if err := ctx.Err(); err != nil {
+			fillUnstarted(errs, start, err)
+			return
+		}
+		end := start + w
+		if end > len(qs) {
+			end = len(qs)
+		}
+		span := d.obs.optimizeLatency.Start()
+		reqs = reqs[:0]
+		for i := start; i < end; i++ {
+			q := qs[i]
+			d.obs.optimizeTotal.Inc()
+			cands := d.ProjectSim.Explorer(q.Day).Candidates(q)
+			d.obs.candidates.Observe(float64(len(cands)))
+			envs, envKey := d.envSource()
+			reqs = append(reqs, guard.Request{
+				ID:     q.ID,
+				Day:    q.Day,
+				Query:  q,
+				Cands:  cands,
+				Envs:   envs,
+				EnvKey: envKey,
+			})
+		}
+		res, re := results[:end-start], rerrs[:end-start]
+		for i := range re {
+			re[i] = nil
+		}
+		d.grd.ServeBatch(ctx, reqs, res, re)
+		for k := range reqs {
+			i := start + k
+			if err := re[k]; err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+					d.obs.optimizeCancels.Inc()
+					errs[i] = err
+					continue
+				}
+				d.obs.optimizeErrors.Inc()
+				errs[i] = fmt.Errorf("optimize %s: %w", d.ProjectSim.Config.Name, err)
+				continue
+			}
+			r := res[k]
+			var ests []float64
+			if r.Origin == guard.OriginLearned {
+				d.obs.observeEstimates(r.Estimates)
+				ests = append([]float64(nil), r.Estimates...)
+			}
+			idx := -1
+			for j := range reqs[k].Cands {
+				if reqs[k].Cands[j] == r.Chosen {
+					idx = j
+					break
+				}
+			}
+			choices[i] = &Choice{
+				Query:         qs[i],
+				Candidates:    reqs[k].Cands,
+				Estimates:     ests,
+				Chosen:        r.Chosen,
+				ChosenIdx:     idx,
+				Origin:        r.Origin,
+				FallbackCause: r.FallbackCause,
+			}
+		}
+		span.Stop()
+	}
 }
 
 // fillUnstarted marks batch indices [from, len) as abandoned with err.
@@ -652,6 +753,7 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 	}
 	o := resolveDeployOptions(opts)
 	pred.Instrument(o.metrics)
+	applyScoring(pred, o)
 	pred.EnablePlanCache(o.planCache)
 	train, test := ps.Repo.Split(trainDays, testDays, 0)
 	d := &Deployment{
@@ -661,6 +763,7 @@ func (ps *ProjectSim) DeployFromModel(r io.Reader, trainDays, testDays int, opts
 		TrainSize:    len(train),
 		TestSet:      test,
 		planCacheCap: o.planCache,
+		microBatch:   o.microBatch,
 		inj:          o.injector,
 		tel:          o.metrics,
 		obs:          newServingTelemetry(o.metrics),

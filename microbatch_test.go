@@ -1,0 +1,135 @@
+package loam
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// snapCounter reads one counter out of a deployment's metrics snapshot,
+// failing the test if the instrument was never registered.
+func snapCounter(t *testing.T, d *Deployment, name string) int64 {
+	t.Helper()
+	for _, c := range d.Metrics().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %s not in snapshot", name)
+	return 0
+}
+
+// TestOptimizeBatchMicroBatchMatchesPlain: a sequential OptimizeBatch on a
+// WithMicroBatch deployment — whole chunks scored as one fused cost-head
+// pass — returns choice-for-choice, bit-for-bit the same results as an
+// identically seeded deployment without coalescing, while the coalescing
+// telemetry proves the fused path actually served the traffic.
+func TestOptimizeBatchMicroBatchMatchesPlain(t *testing.T) {
+	const n, window = 12, 4
+	plain, pqs := guardedDeployment(t, 61, n)
+	fused, fqs := guardedDeployment(t, 61, n, WithMicroBatch(window))
+
+	want, err := plain.OptimizeBatch(context.Background(), pqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fused.OptimizeBatch(context.Background(), fqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Origin != OriginLearned {
+			t.Fatalf("query %d: plain path not learned (%v)", i, w.Origin)
+		}
+		if g.Origin != w.Origin || g.ChosenIdx != w.ChosenIdx {
+			t.Fatalf("query %d: fused chose %d (%v), plain %d (%v)",
+				i, g.ChosenIdx, g.Origin, w.ChosenIdx, w.Origin)
+		}
+		if len(g.Estimates) != len(w.Estimates) {
+			t.Fatalf("query %d: %d estimates vs %d", i, len(g.Estimates), len(w.Estimates))
+		}
+		for j := range w.Estimates {
+			if math.Float64bits(g.Estimates[j]) != math.Float64bits(w.Estimates[j]) {
+				t.Fatalf("query %d estimate %d: fused %v, plain %v",
+					i, j, g.Estimates[j], w.Estimates[j])
+			}
+		}
+	}
+
+	// 12 healthy queries through a window of 4: three deterministic fused
+	// flushes carrying every request, observed on the batch-size histogram.
+	if f := snapCounter(t, fused, "guard.coalesce.flushes"); f != n/window {
+		t.Fatalf("coalesce flushes = %d, want %d", f, n/window)
+	}
+	if r := snapCounter(t, fused, "guard.coalesce.requests"); r != n {
+		t.Fatalf("coalesce requests = %d, want %d", r, n)
+	}
+	seen := false
+	for _, h := range fused.Metrics().Histograms {
+		if h.Name == "serve.batch.coalesced" {
+			seen = true
+			if h.Count != n/window || h.Min != window || h.Max != window {
+				t.Fatalf("serve.batch.coalesced: count=%d min=%v max=%v, want %d full windows",
+					h.Count, h.Min, h.Max, n/window)
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("serve.batch.coalesced histogram not in snapshot")
+	}
+	if f := snapCounter(t, plain, "guard.coalesce.flushes"); f != 0 {
+		t.Fatalf("uncoalesced deployment recorded %d flushes", f)
+	}
+}
+
+// TestQuantizedMicroBatchSameChoices is the end-to-end argmin-preservation
+// check: quantized scoring stacked on micro-batching still picks exactly the
+// plans the plain f64 deployment picks, and the quant accounting shows the
+// fused batches really went through the quantized tiers.
+func TestQuantizedMicroBatchSameChoices(t *testing.T) {
+	const n = 12
+	plain, pqs := guardedDeployment(t, 62, n)
+	quant, qqs := guardedDeployment(t, 62, n, WithMicroBatch(4),
+		WithScoringConfig(ScoringConfig{Quantized: true}))
+
+	want, err := plain.OptimizeBatch(context.Background(), pqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := quant.OptimizeBatch(context.Background(), qqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Origin != OriginLearned || g.ChosenIdx != w.ChosenIdx {
+			t.Fatalf("query %d: quantized chose %d (%v), plain %d", i, g.ChosenIdx, g.Origin, w.ChosenIdx)
+		}
+		// Quantized estimates are certified-argmin values, not bit-copies of
+		// f64; they must still be finite, positive costs for every candidate.
+		if len(g.Estimates) != len(w.Estimates) {
+			t.Fatalf("query %d: %d estimates vs %d", i, len(g.Estimates), len(w.Estimates))
+		}
+		for j, e := range g.Estimates {
+			if !(e > 0) || math.IsInf(e, 0) {
+				t.Fatalf("query %d estimate %d: %v not a finite positive cost", i, j, e)
+			}
+		}
+	}
+
+	batches := snapCounter(t, quant, "predictor.quant.batches")
+	if batches == 0 {
+		t.Fatal("quantized deployment scored no batches through the quant path")
+	}
+	int8s := snapCounter(t, quant, "predictor.quant.int8")
+	f32s := snapCounter(t, quant, "predictor.quant.f32")
+	falls := snapCounter(t, quant, "predictor.quant.fallbacks")
+	if batches != int8s+f32s+falls {
+		t.Fatalf("quant accounting: %d batches != %d int8 + %d f32 + %d fallbacks",
+			batches, int8s, f32s, falls)
+	}
+	if f := snapCounter(t, quant, "guard.coalesce.flushes"); f != 3 {
+		t.Fatalf("coalesce flushes = %d, want 3", f)
+	}
+}
